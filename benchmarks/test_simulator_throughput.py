@@ -1,0 +1,82 @@
+"""B0 — Simulator throughput: events/second per scheme.
+
+Not a paper artifact — this measures the reproduction itself (the DES
+kernel plus protocol logic), so performance regressions of the
+simulator are caught alongside behavioral ones.  The interference
+monitor and metrics pipeline are enabled, as in every experiment.
+"""
+
+from repro.harness import Scenario, build_simulation
+
+from _common import print_banner, render_table, run_once
+
+SCHEMES = ["fixed", "basic_search", "basic_update", "advanced_update", "prakash", "adaptive"]
+
+
+def run_and_count(scheme: str):
+    sim = build_simulation(
+        Scenario(
+            scheme=scheme,
+            offered_load=8.0,
+            duration=1200.0,
+            warmup=200.0,
+            seed=101,
+        )
+    )
+    sim.source.start()
+    env = sim.env
+    events = 0
+    # Count kernel events by stepping manually.
+    from repro.sim.engine import EmptySchedule
+
+    while True:
+        if env.peek() > 1200.0:
+            break
+        try:
+            env.step()
+        except EmptySchedule:
+            break
+        events += 1
+    return events, sim
+
+
+def test_simulator_throughput(benchmark):
+    import time
+
+    def experiment():
+        out = {}
+        for scheme in SCHEMES:
+            t0 = time.perf_counter()
+            events, sim = run_and_count(scheme)
+            elapsed = time.perf_counter() - t0
+            out[scheme] = (events, elapsed, sim.network.total_sent)
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for scheme, (events, elapsed, msgs) in results.items():
+        rows.append(
+            [
+                scheme,
+                events,
+                msgs,
+                round(elapsed, 2),
+                int(events / elapsed) if elapsed else 0,
+            ]
+        )
+
+    print_banner(
+        "B0", "simulator throughput at 8 Erlang/cell (49 cells, 1200 time units)"
+    )
+    print(
+        render_table(
+            ["scheme", "kernel events", "messages", "wall (s)", "events/s"],
+            rows,
+        )
+    )
+
+    # Sanity: every scheme clears a modest throughput floor on any
+    # hardware this is likely to run on.
+    for scheme, (events, elapsed, _msgs) in results.items():
+        assert events / elapsed > 10_000, f"{scheme} unexpectedly slow"

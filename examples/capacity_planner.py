@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Static capacity planning vs adaptive borrowing.
+
+An operator who *knows* the demand map can size each reuse color's
+channel pool optimally (marginal allocation over Erlang-B — provably
+optimal for the static system).  This script builds such a plan for a
+city where downtown cells carry 4x the suburban load, predicts its
+blocking analytically, validates the prediction by simulation, and then
+shows what the adaptive scheme achieves with *no* prior knowledge.
+
+Run:  python examples/capacity_planner.py
+"""
+
+from repro.analysis import erlang_b, expected_blocked_traffic, plan_partition
+from repro.cellular import CellularTopology
+from repro.harness import Scenario, render_table, run_scenario
+from repro.traffic import PiecewiseLoad
+
+HOLDING = 180.0
+HOT_COLOR = 0
+HOT_LOAD, COOL_LOAD = 16.0, 4.0
+
+
+def main() -> None:
+    topo = CellularTopology(7, 7, num_channels=70, wrap=True)
+    rates, color_loads = {}, {}
+    for cell in topo.grid:
+        color = topo.pattern.color(cell)
+        load = HOT_LOAD if color == HOT_COLOR else COOL_LOAD
+        rates[cell] = load / HOLDING
+        color_loads[color] = load
+    pattern = PiecewiseLoad(rates)
+
+    plan = plan_partition(color_loads, 70)
+    uniform = {c: 10 for c in range(7)}
+
+    print("Demand: color-0 cells at 16 Erlang, other colors at 4 Erlang")
+    print(f"Planned pools per color: {plan}")
+    print()
+
+    rows = []
+    for name, counts in [("uniform", uniform), ("planned", plan)]:
+        loads = [color_loads[c] for c in range(7)]
+        sizes = [counts[c] for c in range(7)]
+        blocked = expected_blocked_traffic(loads, sizes)
+        total = sum(loads)
+        rows.append([name] + sizes + [round(blocked / total, 4)])
+    print(
+        render_table(
+            ["plan"] + [f"c{c}" for c in range(7)] + ["predicted drop"],
+            rows,
+            title="analytic Erlang-B prediction per plan",
+        )
+    )
+    print()
+
+    base = Scenario(
+        pattern=pattern, mean_holding=HOLDING,
+        duration=3000.0, warmup=500.0, seed=17,
+    )
+    rows = []
+    for name, scenario in [
+        ("uniform FCA", base.with_(scheme="fixed")),
+        ("planned FCA", base.with_(scheme="fixed", channels_per_color=plan)),
+        ("adaptive (no plan)", base.with_(scheme="adaptive")),
+    ]:
+        rep = run_scenario(scenario)
+        rows.append(
+            [name, round(rep.drop_rate, 4), round(rep.messages_per_acquisition, 1),
+             round(rep.fairness_index, 4)]
+        )
+    print(
+        render_table(
+            ["system", "measured drop", "msgs/req", "fairness"],
+            rows,
+            title="simulation",
+            note="the adaptive scheme has balanced pools and no demand "
+            "knowledge, yet beats the informed static plan",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the adaptive channel-allocation scheme.
+
+Builds the paper-scale system — a 7x7 toroidal hex grid, 70 channels,
+k=7 reuse (10 primary channels per cell, 18-cell interference regions)
+— offers 5 Erlangs of Poisson call traffic per cell, and prints the
+metrics the paper evaluates: call drop rate, channel acquisition time
+(in units of the one-way message latency T), control-message counts and
+the fraction of acquisitions served in each mode.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scenario, run_scenario
+
+
+def main() -> None:
+    scenario = Scenario(
+        scheme="adaptive",      # try: fixed, basic_search, basic_update,
+                                #      advanced_update, prakash
+        rows=7, cols=7,         # toroidal hex grid
+        num_channels=70,        # 10 primaries per cell under k=7 reuse
+        offered_load=5.0,       # Erlangs per cell
+        mean_holding=180.0,     # mean call duration (time units)
+        duration=4000.0,        # simulated horizon
+        warmup=500.0,           # statistics discarded before this
+        seed=1,
+    )
+    report = run_scenario(scenario)
+
+    print("Topology:", "7x7 torus, 70 channels, reuse k=7 (|IN| = 18)")
+    print()
+    print(report.summary())
+    print()
+    print("Messages by type:")
+    for kind, count in report.messages_by_kind.items():
+        print(f"  {kind:12s} {count}")
+    print()
+    print(
+        "Safety: the interference monitor verified every acquisition —",
+        f"{report.violations} co-channel violations.",
+    )
+
+
+if __name__ == "__main__":
+    main()

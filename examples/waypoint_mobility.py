@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Physical mobility: random-waypoint hosts crossing real hex borders.
+
+Unlike the exponential-dwell mobility of the other examples, here each
+host has a Cartesian position and speed and hands off exactly when its
+trajectory crosses a cell boundary — pedestrians rarely do, vehicles
+do constantly.  The grid is planar (a city, not a torus), so edge
+cells have smaller interference regions too.
+
+Run:  python examples/waypoint_mobility.py
+"""
+
+import numpy as np
+
+from repro.cellular import CellularTopology
+from repro.harness import render_table
+from repro.metrics import MetricsCollector
+from repro.protocols import InterferenceMonitor
+from repro.harness import SCHEMES
+from repro.sim import DeterministicLatency, Environment, Network, StreamRegistry
+from repro.traffic import CallConfig, CallLog, WaypointHost, waypoint_call_process
+
+
+def run(scheme: str, speed: float, num_hosts: int = 1000, seed: int = 31):
+    env = Environment()
+    topo = CellularTopology(7, 7, num_channels=70, wrap=False)
+    net = Network(env, DeterministicLatency(1.0))
+    metrics = MetricsCollector(warmup=0.0)
+    monitor = InterferenceMonitor(topo)
+    cls = SCHEMES[scheme]
+    stations = {
+        c: cls(env, net, topo, c, metrics=metrics, monitor=monitor)
+        for c in topo.grid
+    }
+    streams = StreamRegistry(seed)
+    log = CallLog()
+    config = CallConfig(mean_holding=240.0)
+
+    def spawn_calls():
+        rng = streams.stream("arrivals")
+        for i in range(num_hosts):
+            yield env.timeout(float(rng.exponential(0.6)))
+            host_rng = streams.stream("host", i)
+            host = WaypointHost(topo.grid, host_rng, speed=speed)
+            env.process(
+                waypoint_call_process(
+                    env, stations, host, config, host_rng, log=log
+                )
+            )
+
+    env.process(spawn_calls())
+    env.run()
+    return log, monitor
+
+
+def main() -> None:
+    rows = []
+    for scheme in ["fixed", "adaptive"]:
+        for speed, label in [(0.02, "pedestrian"), (0.15, "vehicle")]:
+            log, monitor = run(scheme, speed)
+            handoffs_per_call = (
+                log.handoffs_attempted / max(1, log.started - log.blocked)
+            )
+            rows.append(
+                [
+                    scheme,
+                    label,
+                    round(handoffs_per_call, 2),
+                    round(log.blocked / log.started, 4),
+                    round(log.forced_termination_rate, 4),
+                    len(monitor.violations),
+                ]
+            )
+    print(
+        render_table(
+            [
+                "scheme",
+                "mobility",
+                "handoffs/call",
+                "block rate",
+                "forced termination",
+                "violations",
+            ],
+            rows,
+            title="random-waypoint hosts on a planar 7x7 city "
+            "(1000 calls, ~8 Erlang/cell peak)",
+            note="handoffs fire exactly at hex-boundary crossings",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

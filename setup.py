@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs in offline environments
+(no `wheel` package available for PEP 660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

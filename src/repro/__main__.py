@@ -1,0 +1,184 @@
+"""Command-line interface: run one scenario and print the report.
+
+Examples
+--------
+Run the adaptive scheme at 7 Erlangs per cell::
+
+    python -m repro --scheme adaptive --load 7
+
+Compare every scheme on a hot-spot workload::
+
+    python -m repro --all-schemes --hotspot 24 --hot-load 20 --load 2
+
+Any scenario knob is exposed; ``--json`` emits machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .harness import SCHEMES, Scenario, render_table, run_scenario
+from .traffic import HotspotLoad
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Simulate distributed dynamic channel allocation "
+        "(reproduction of Kahol et al., 1998).",
+    )
+    p.add_argument("--scheme", default="adaptive", choices=sorted(SCHEMES))
+    p.add_argument(
+        "--all-schemes", action="store_true",
+        help="run every scheme on the same workload and print a comparison",
+    )
+    p.add_argument("--rows", type=int, default=7)
+    p.add_argument("--cols", type=int, default=7)
+    p.add_argument("--channels", type=int, default=70)
+    p.add_argument("--cluster", type=int, default=7, help="reuse cluster size k")
+    p.add_argument("--no-wrap", action="store_true", help="planar grid")
+    p.add_argument("--load", type=float, default=5.0, help="Erlangs per cell")
+    p.add_argument("--holding", type=float, default=180.0)
+    p.add_argument("--dwell", type=float, default=None,
+                   help="mean cell-dwell time (enables mobility)")
+    p.add_argument("--hotspot", type=int, nargs="*", default=None,
+                   metavar="CELL", help="hot cell ids")
+    p.add_argument("--hot-load", type=float, default=20.0,
+                   help="Erlangs per hot cell")
+    p.add_argument("--duration", type=float, default=3000.0)
+    p.add_argument("--warmup", type=float, default=400.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--latency", type=float, default=1.0, help="one-way T")
+    p.add_argument("--alpha", type=int, default=2)
+    p.add_argument("--theta-low", type=float, default=1.0)
+    p.add_argument("--theta-high", type=float, default=3.0)
+    p.add_argument("--window", type=float, default=30.0)
+    p.add_argument("--json", action="store_true", help="JSON output")
+    p.add_argument(
+        "--config", type=str, default=None, metavar="FILE",
+        help="load the scenario from a JSON file (other scenario flags "
+        "are ignored; --scheme/--all-schemes still apply)",
+    )
+    p.add_argument(
+        "--preset", type=str, default=None,
+        help="use a named preset workload (see --list-presets)",
+    )
+    p.add_argument(
+        "--list-presets", action="store_true",
+        help="list available preset workloads and exit",
+    )
+    p.add_argument(
+        "--dump-config", action="store_true",
+        help="print the scenario as JSON instead of running it",
+    )
+    return p
+
+
+def scenario_from_args(args, scheme: str) -> Scenario:
+    pattern = None
+    if args.hotspot:
+        pattern = HotspotLoad(
+            base_rate=args.load / args.holding,
+            hot_cells=args.hotspot,
+            hot_rate=args.hot_load / args.holding,
+        )
+    return Scenario(
+        scheme=scheme,
+        rows=args.rows,
+        cols=args.cols,
+        num_channels=args.channels,
+        cluster_size=args.cluster,
+        wrap=not args.no_wrap,
+        offered_load=args.load,
+        pattern=pattern,
+        mean_holding=args.holding,
+        mean_dwell=args.dwell,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        latency_T=args.latency,
+        alpha=args.alpha,
+        theta_low=args.theta_low,
+        theta_high=args.theta_high,
+        window=args.window,
+    )
+
+
+def report_dict(report) -> dict:
+    return {
+        "scheme": report.scenario.scheme,
+        "offered": report.offered,
+        "drop_rate": report.drop_rate,
+        "new_call_block_rate": report.new_call_block_rate,
+        "handoff_failure_rate": report.handoff_failure_rate,
+        "mean_acquisition_time": report.mean_acquisition_time,
+        "p95_acquisition_time": report.p95_acquisition_time,
+        "messages_total": report.messages_total,
+        "messages_per_acquisition": report.messages_per_acquisition,
+        "xi": report.xi,
+        "fairness_index": report.fairness_index,
+        "violations": report.violations,
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    schemes = sorted(SCHEMES) if args.all_schemes else [args.scheme]
+
+    if args.list_presets:
+        from .harness import preset_names
+
+        for name in preset_names():
+            print(name)
+        return 0
+
+    if args.config:
+        with open(args.config) as fh:
+            base = Scenario.from_json(fh.read())
+        scenarios = [base.with_(scheme=s) for s in schemes]
+    elif args.preset:
+        from .harness import preset
+
+        base = preset(args.preset)
+        scenarios = [base.with_(scheme=s, seed=args.seed) for s in schemes]
+    else:
+        scenarios = [scenario_from_args(args, s) for s in schemes]
+
+    if args.dump_config:
+        print(scenarios[0].to_json())
+        return 0
+
+    reports = [run_scenario(s) for s in scenarios]
+
+    if args.json:
+        print(json.dumps([report_dict(r) for r in reports], indent=2))
+        return 0
+
+    if len(reports) == 1:
+        print(reports[0].summary())
+    else:
+        rows = [
+            [
+                r.scenario.scheme,
+                round(r.drop_rate, 4),
+                round(r.mean_acquisition_time, 3),
+                round(r.messages_per_acquisition, 1),
+                round(r.fairness_index, 4),
+                r.violations,
+            ]
+            for r in reports
+        ]
+        print(
+            render_table(
+                ["scheme", "drop", "acq time (T)", "msgs/req", "fairness", "violations"],
+                rows,
+                title=f"load={args.load} Erlang/cell, seed={args.seed}",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

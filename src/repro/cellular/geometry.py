@@ -1,0 +1,84 @@
+"""Continuous 2-D geometry over the hex grid.
+
+Maps the axial lattice to Cartesian coordinates (pointy-top hexagons of
+circumradius ``size``), finds the serving cell of an arbitrary point
+(exact cube-rounding, the inverse of the lattice map), and describes
+the grid's bounding box — the substrate for the 2-D random-waypoint
+mobility model where handoffs happen when a moving host *actually*
+crosses a cell boundary rather than at exponential timer ticks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from .hexgrid import Hex, HexGrid
+
+__all__ = [
+    "axial_to_xy",
+    "xy_to_axial",
+    "nearest_cell",
+    "cell_center",
+    "grid_bounds",
+]
+
+SQRT3 = math.sqrt(3.0)
+
+
+def axial_to_xy(h: Hex, size: float = 1.0) -> Tuple[float, float]:
+    """Center of a pointy-top hex in Cartesian coordinates."""
+    x = size * (SQRT3 * h.q + SQRT3 / 2.0 * h.r)
+    y = size * (1.5 * h.r)
+    return (x, y)
+
+
+def xy_to_axial(x: float, y: float, size: float = 1.0) -> Hex:
+    """Containing hex of a Cartesian point (exact cube rounding)."""
+    qf = (SQRT3 / 3.0 * x - y / 3.0) / size
+    rf = (2.0 / 3.0 * y) / size
+    return _cube_round(qf, rf)
+
+
+def _cube_round(qf: float, rf: float) -> Hex:
+    sf = -qf - rf
+    q, r, s = round(qf), round(rf), round(sf)
+    dq, dr, ds = abs(q - qf), abs(r - rf), abs(s - sf)
+    if dq > dr and dq > ds:
+        q = -r - s
+    elif dr > ds:
+        r = -q - s
+    return Hex(int(q), int(r))
+
+
+def cell_center(grid: HexGrid, cell: int, size: float = 1.0) -> Tuple[float, float]:
+    """Cartesian center of a cell id."""
+    return axial_to_xy(grid.coord(cell), size)
+
+
+def nearest_cell(grid: HexGrid, x: float, y: float, size: float = 1.0) -> int:
+    """Cell id containing (x, y); clamps to the closest cell when the
+    point lies outside the (planar) grid."""
+    h = xy_to_axial(x, y, size)
+    if grid.contains(h):
+        return grid.cell_at(h)
+    # Outside the parallelogram: fall back to the closest center.
+    best, best_d = 0, float("inf")
+    for cell in grid:
+        cx, cy = cell_center(grid, cell, size)
+        d = (cx - x) ** 2 + (cy - y) ** 2
+        if d < best_d:
+            best, best_d = cell, d
+    return best
+
+
+def grid_bounds(grid: HexGrid, size: float = 1.0) -> Tuple[float, float, float, float]:
+    """Tight bounding box (xmin, ymin, xmax, ymax) of all cell centers,
+    padded by one hex circumradius so hosts can roam the edge cells."""
+    xs, ys = [], []
+    for cell in grid:
+        x, y = cell_center(grid, cell, size)
+        xs.append(x)
+        ys.append(y)
+    pad = size
+    return (min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad)

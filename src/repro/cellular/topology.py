@@ -1,0 +1,98 @@
+"""Bundled cellular topology: grid + reuse pattern + spectrum.
+
+A :class:`CellularTopology` is the single object the protocol layer
+needs: it knows every cell's interference region ``IN_i``, primary set
+``PR_i``, and the global channel pool ``Spectrum``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from .hexgrid import HexGrid
+from .spectrum import ReusePattern, Spectrum
+
+__all__ = ["CellularTopology"]
+
+
+class CellularTopology:
+    """Immutable description of the cellular system under simulation.
+
+    Parameters
+    ----------
+    rows, cols:
+        Hex grid dimensions.
+    num_channels:
+        Size of the radio spectrum (paper's ``n``).
+    cluster_size:
+        Reuse cluster ``k`` (paper's implicit reuse pattern for PR sets).
+    interference_radius:
+        Reuse radius in cell hops; ``IN_i`` = all cells within this
+        distance.  Defaults to ``min_cochannel_distance - 1``, the
+        largest radius the reuse pattern safely supports.
+    wrap:
+        Toroidal grid (recommended for experiments; removes edge bias).
+    channels_per_color:
+        Optional demand-weighted static plan: explicit channel-pool
+        size per reuse color (see ``analysis.planning``).  Default is
+        the balanced split.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        num_channels: int,
+        cluster_size: int = 7,
+        interference_radius: Optional[int] = None,
+        wrap: bool = False,
+        channels_per_color: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.grid = HexGrid(rows, cols, wrap=wrap)
+        self.pattern = ReusePattern(self.grid, cluster_size)
+        self.spectrum = Spectrum(num_channels)
+        if interference_radius is None:
+            interference_radius = self.pattern.min_cochannel_distance() - 1
+        self.interference_radius = interference_radius
+        self.pattern.validate_against_radius(interference_radius)
+        #: ``IN_i`` for every cell i.
+        self.interference: Dict[int, FrozenSet[int]] = self.grid.interference_map(
+            interference_radius
+        )
+        #: ``PR_i`` for every cell i.
+        self.primaries: Dict[int, FrozenSet[int]] = self.spectrum.primary_sets(
+            self.pattern, channels_per_color
+        )
+
+    @property
+    def num_cells(self) -> int:
+        return self.grid.num_cells
+
+    @property
+    def num_channels(self) -> int:
+        return self.spectrum.num_channels
+
+    def IN(self, cell: int) -> FrozenSet[int]:
+        """Interference region of ``cell`` (excludes the cell itself)."""
+        return self.interference[cell]
+
+    def PR(self, cell: int) -> FrozenSet[int]:
+        """Primary channel set of ``cell``."""
+        return self.primaries[cell]
+
+    def primary_capacity(self, cell: int) -> int:
+        """Number of statically assigned channels of a cell."""
+        return len(self.primaries[cell])
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        g = self.grid
+        sizes = {len(v) for v in self.interference.values()}
+        return (
+            f"{g.rows}x{g.cols} hex grid ({'torus' if g.wrap else 'plane'}), "
+            f"{self.num_channels} channels, reuse k={self.pattern.cluster_size}, "
+            f"interference radius {self.interference_radius} "
+            f"(|IN| in {sorted(sizes)}), "
+            f"{min(len(p) for p in self.primaries.values())}-"
+            f"{max(len(p) for p in self.primaries.values())} primaries/cell"
+        )

@@ -1,0 +1,6 @@
+"""The paper's primary contribution: the adaptive hybrid scheme."""
+
+from .adaptive import AdaptiveMSS, Mode
+from .nfc import NFCWindow
+
+__all__ = ["AdaptiveMSS", "Mode", "NFCWindow"]

@@ -1,0 +1,93 @@
+"""NFC — the free-primary-channel history window (paper §3.1, Fig. 6).
+
+``NFC_i`` is a list of (t, s) samples meaning "at time t the number of
+free primary channels changed to s".  It supports the two primitives of
+the pseudocode:
+
+* ``add_nfc(t, s)`` — record a sample and prune history older than the
+  window ``W`` (we keep one boundary sample so the step function can
+  still be evaluated exactly at ``t - W``);
+* ``get_nfc(t)`` — evaluate the step function at time ``t``.
+
+``check_mode`` uses these to linearly extrapolate the free-channel
+count one round-trip (2T) into the future:
+
+    next = s + 2·T·(s − get_nfc(t − W)) / W
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+__all__ = ["NFCWindow"]
+
+
+class NFCWindow:
+    """Sliding-window step-function history of free-channel counts."""
+
+    def __init__(self, window: float, initial: int = 0) -> None:
+        if window <= 0:
+            raise ValueError("window W must be positive")
+        self.window = float(window)
+        # Samples in strictly increasing time order.
+        self._samples: Deque[Tuple[float, int]] = deque()
+        self._samples.append((float("-inf"), initial))
+
+    def add(self, t: float, s: int) -> None:
+        """Record that the free-channel count became ``s`` at time ``t``."""
+        if s < 0:
+            raise ValueError("free-channel count cannot be negative")
+        if self._samples and t < self._samples[-1][0]:
+            raise ValueError(
+                f"samples must be time-ordered (got {t} after "
+                f"{self._samples[-1][0]})"
+            )
+        if self._samples and self._samples[-1][0] == t:
+            # Same-instant update supersedes the previous sample.
+            self._samples.pop()
+        self._samples.append((t, s))
+        self._prune(t - self.window)
+
+    def _prune(self, horizon: float) -> None:
+        # Delete samples strictly older than the horizon, but keep the
+        # most recent of them as the boundary value so get(horizon) is
+        # still answerable (the paper's deletion rule is looser; this is
+        # the exact-semantics version).
+        while (
+            len(self._samples) >= 2 and self._samples[1][0] <= horizon
+        ):
+            self._samples.popleft()
+        if self._samples and self._samples[0][0] < horizon:
+            value = self._samples[0][1]
+            self._samples[0] = (horizon, value)
+
+    def get(self, t: float) -> int:
+        """Free-channel count in effect at time ``t``.
+
+        Times before recorded history return the oldest known value.
+        """
+        result = self._samples[0][1]
+        for when, value in self._samples:
+            if when <= t:
+                result = value
+            else:
+                break
+        return result
+
+    def predict(self, t: float, horizon: float) -> float:
+        """Fig. 6's linear extrapolation ``horizon`` time units ahead.
+
+        ``next = s + horizon · (s − get(t − W)) / W`` where ``s`` is the
+        current value.
+        """
+        s = self.get(t)
+        last = self.get(t - self.window)
+        return s + horizon * (s - last) / self.window
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def current(self) -> int:
+        return self._samples[-1][1]

@@ -1,0 +1,43 @@
+"""Experiment harness: scenarios, runners, replication, table output."""
+
+from .config import Scenario
+from .runner import (
+    Report,
+    SCHEMES,
+    Simulation,
+    build_simulation,
+    run_replications,
+    run_scenario,
+)
+from .ascii_viz import bar_chart, hex_heatmap, sparkline
+from .presets import PRESETS, preset, preset_names
+from .stats import CI, compare, summarize
+from .sweeps import DEFAULT_COLUMNS, SweepResult, sweep, to_csv
+from .tables import format_value, render_table
+from .timeline import ModeSampler
+
+__all__ = [
+    "sweep",
+    "SweepResult",
+    "to_csv",
+    "DEFAULT_COLUMNS",
+    "sparkline",
+    "bar_chart",
+    "hex_heatmap",
+    "CI",
+    "summarize",
+    "compare",
+    "preset",
+    "preset_names",
+    "PRESETS",
+    "ModeSampler",
+    "Scenario",
+    "Report",
+    "Simulation",
+    "SCHEMES",
+    "build_simulation",
+    "run_scenario",
+    "run_replications",
+    "render_table",
+    "format_value",
+]

@@ -1,0 +1,174 @@
+"""Scenario configuration for experiments.
+
+A :class:`Scenario` is a fully seeded, declarative description of one
+simulation run: topology, scheme, traffic, network latency and protocol
+parameters.  The defaults implement the paper-scale system used across
+EXPERIMENTS.md: a 7×7 toroidal grid with a k=7 reuse pattern, 70
+channels (10 primaries per cell, |IN| = 18) and unit message latency T.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional
+
+from ..traffic.patterns import (
+    HotspotLoad,
+    LoadPattern,
+    PiecewiseLoad,
+    RampLoad,
+    TemporalHotspot,
+    UniformLoad,
+)
+
+__all__ = ["Scenario"]
+
+#: Load patterns reconstructable from serialized scenarios.
+_PATTERN_TYPES = {
+    "UniformLoad": UniformLoad,
+    "HotspotLoad": HotspotLoad,
+    "TemporalHotspot": TemporalHotspot,
+    "RampLoad": RampLoad,
+    "PiecewiseLoad": PiecewiseLoad,
+}
+
+
+def _pattern_to_dict(pattern: LoadPattern) -> Dict[str, Any]:
+    name = type(pattern).__name__
+    if name not in _PATTERN_TYPES:
+        raise ValueError(f"pattern {name} is not serializable")
+    state = {}
+    for key, value in vars(pattern).items():
+        key = key.lstrip("_")
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        state[key] = value
+    return {"type": name, **state}
+
+
+def _pattern_from_dict(data: Dict[str, Any]) -> LoadPattern:
+    data = dict(data)
+    name = data.pop("type")
+    cls = _PATTERN_TYPES[name]
+    if name == "UniformLoad":
+        return cls(data["rate"])
+    if name == "HotspotLoad":
+        return cls(data["base_rate"], data["hot_cells"], data["hot_rate"])
+    if name == "TemporalHotspot":
+        return cls(
+            data["base_rate"], data["hot_cells"], data["hot_rate"],
+            data["start"], data["end"],
+        )
+    if name == "RampLoad":
+        return cls(data["start_rate"], data["end_rate"], data["duration"])
+    # PiecewiseLoad: JSON keys are strings; coerce back to ints.
+    return cls({int(k): v for k, v in data["rates"].items()}, data["default"])
+
+
+@dataclass
+class Scenario:
+    """Declarative description of one simulation run."""
+
+    # -- scheme ------------------------------------------------------------
+    scheme: str = "adaptive"
+
+    # -- topology ------------------------------------------------------------
+    rows: int = 7
+    cols: int = 7
+    num_channels: int = 70
+    cluster_size: int = 7
+    interference_radius: Optional[int] = None
+    wrap: bool = True
+    #: Demand-weighted static plan: channel-pool size per reuse color
+    #: (see ``repro.analysis.planning``); None = balanced split.
+    channels_per_color: Optional[Dict[int, int]] = None
+
+    # -- network -------------------------------------------------------------
+    latency_T: float = 1.0
+    latency_model: str = "deterministic"  # or "uniform"
+    latency_spread: float = 0.0  # uniform in [T, T + spread]
+    fifo: bool = True
+
+    # -- traffic ---------------------------------------------------------------
+    #: Offered load per cell in Erlangs (λ·holding).  Ignored when an
+    #: explicit ``pattern`` is supplied.
+    offered_load: float = 5.0
+    pattern: Optional[LoadPattern] = None
+    mean_holding: float = 180.0
+    mean_dwell: Optional[float] = None
+    setup_deadline: Optional[float] = 30.0
+
+    # -- horizon ---------------------------------------------------------------
+    duration: float = 4000.0
+    warmup: float = 500.0
+
+    # -- adaptive-scheme parameters ---------------------------------------------
+    alpha: int = 2
+    theta_low: float = 1.0
+    theta_high: float = 3.0
+    window: float = 30.0
+
+    # -- baseline parameters -------------------------------------------------------
+    max_attempts: int = 25
+
+    # -- bookkeeping ------------------------------------------------------------
+    seed: int = 1
+    monitor_policy: str = "raise"
+    #: Free-form extras forwarded to the MSS constructor.
+    extra_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration <= self.warmup:
+            raise ValueError("duration must exceed warmup")
+        if self.offered_load < 0:
+            raise ValueError("offered_load must be >= 0")
+        if self.mean_holding <= 0:
+            raise ValueError("mean_holding must be positive")
+
+    @property
+    def arrival_rate(self) -> float:
+        """Per-cell λ implied by the Erlang offered load."""
+        return self.offered_load / self.mean_holding
+
+    def effective_pattern(self) -> LoadPattern:
+        """The load pattern to simulate (explicit or uniform-by-load)."""
+        if self.pattern is not None:
+            return self.pattern
+        return UniformLoad(self.arrival_rate)
+
+    def with_(self, **overrides) -> "Scenario":
+        """A copy of this scenario with fields replaced."""
+        return replace(self, **overrides)
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (patterns serialized by type + parameters)."""
+        data = asdict(self)
+        if self.pattern is not None:
+            data["pattern"] = _pattern_to_dict(self.pattern)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        if data.get("pattern") is not None:
+            data["pattern"] = _pattern_from_dict(data["pattern"])
+        if data.get("channels_per_color") is not None:
+            # JSON object keys are strings; restore integer colors.
+            data["channels_per_color"] = {
+                int(k): v for k, v in data["channels_per_color"].items()
+            }
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))

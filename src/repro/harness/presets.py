@@ -1,0 +1,93 @@
+"""Named scenario presets — the workloads used throughout the
+reproduction, addressable from code and the CLI (``--preset``).
+
+>>> from repro.harness import preset
+>>> report = run_scenario(preset("rush_hour").with_(scheme="adaptive"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..traffic.patterns import HotspotLoad, RampLoad, TemporalHotspot
+from .config import Scenario
+
+__all__ = ["PRESETS", "preset", "preset_names"]
+
+_HOLDING = 180.0
+
+
+def _paper_default() -> Scenario:
+    """The paper-scale system at a moderate uniform load."""
+    return Scenario(offered_load=5.0)
+
+
+def _low_load() -> Scenario:
+    """Table 2's regime: 10% of primary capacity."""
+    return Scenario(offered_load=1.0, duration=4000.0)
+
+
+def _saturated() -> Scenario:
+    """Uniform overload: 140% of primary capacity."""
+    return Scenario(offered_load=14.0)
+
+
+def _hot_cell() -> Scenario:
+    """E1's spatial hot spot: one cell at 25 E in a 2 E city."""
+    return Scenario(
+        pattern=HotspotLoad(2.0 / _HOLDING, [24], 25.0 / _HOLDING),
+        duration=3000.0,
+        warmup=500.0,
+    )
+
+
+def _rush_hour() -> Scenario:
+    """A downtown cluster spiking for a third of the day."""
+    downtown = [16, 17, 23, 24, 25, 31, 32]
+    return Scenario(
+        pattern=TemporalHotspot(
+            2.0 / _HOLDING, downtown, 14.0 / _HOLDING, start=1000.0, end=3000.0
+        ),
+        duration=4000.0,
+        warmup=500.0,
+    )
+
+
+def _morning_ramp() -> Scenario:
+    """Load climbing from idle to 9 E over the run (mode transitions)."""
+    return Scenario(
+        pattern=RampLoad(0.2 / _HOLDING, 9.0 / _HOLDING, duration=2500.0),
+        duration=3500.0,
+        warmup=200.0,
+    )
+
+
+def _commuters() -> Scenario:
+    """Moderate load with fast exponential-dwell mobility."""
+    return Scenario(offered_load=6.0, mean_dwell=120.0, duration=3000.0)
+
+
+PRESETS: Dict[str, Callable[[], Scenario]] = {
+    "paper_default": _paper_default,
+    "low_load": _low_load,
+    "saturated": _saturated,
+    "hot_cell": _hot_cell,
+    "rush_hour": _rush_hour,
+    "morning_ramp": _morning_ramp,
+    "commuters": _commuters,
+}
+
+
+def preset(name: str) -> Scenario:
+    """A fresh Scenario for a named preset workload."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; available: {preset_names()}"
+        ) from None
+    return factory()
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints each reproduced paper table/figure as an
+aligned text table; this module is the single formatter so all benches
+look alike and EXPERIMENTS.md can paste the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned text table with optional title and footnote."""
+    cells: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(sep)))
+    out.append(fmt_row(list(headers)))
+    out.append(sep)
+    out.extend(fmt_row(row) for row in cells)
+    if note:
+        out.append("")
+        out.append(f"note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,5 @@
+"""Metrics: acquisition records, drop rates, latency, message counts."""
+
+from .collector import AcquisitionRecord, MetricsCollector
+
+__all__ = ["AcquisitionRecord", "MetricsCollector"]

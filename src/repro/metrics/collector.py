@@ -1,0 +1,168 @@
+"""Metrics collection for channel-allocation simulations.
+
+Records, per acquisition attempt: outcome (granted/denied), the queue
+wait behind other requests at the same MSS, the protocol's own channel
+acquisition time (the paper's headline latency metric, measured in the
+same units as the network latency T), the number of protocol attempts
+(the paper's ``m``), and the acquisition path ("local" / "update" /
+"search" — the paper's ξ1/ξ2/ξ3 fractions).
+
+A ``warmup`` horizon discards transient samples; message counts are
+read from the network with a warmup-offset snapshot taken at the same
+instant so rates are consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["AcquisitionRecord", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class AcquisitionRecord:
+    """One completed channel-acquisition attempt."""
+
+    cell: int
+    kind: str  # "new" or "handoff"
+    granted: bool
+    queue_wait: float
+    acquisition_time: float
+    attempts: int
+    mode: Optional[str]  # "local" / "update" / "search" / None
+    time: float
+
+
+class MetricsCollector:
+    """Accumulates call-level and message-level statistics."""
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self.warmup = warmup
+        self.records: List[AcquisitionRecord] = []
+        self.releases = 0
+        self._message_baseline: Dict[str, int] = {}
+        self._message_baseline_total = 0
+        self._baseline_taken = False
+
+    # -- recording (called by the protocol/traffic layers) -----------------
+    def record_acquisition(self, **kwargs) -> None:
+        record = AcquisitionRecord(**kwargs)
+        if record.time >= self.warmup:
+            self.records.append(record)
+
+    def record_release(self, cell: int, channel: int, time: float) -> None:
+        if time >= self.warmup:
+            self.releases += 1
+
+    def snapshot_message_baseline(self, network) -> None:
+        """Capture message counters at the warmup boundary."""
+        self._message_baseline = dict(network.sent_by_kind)
+        self._message_baseline_total = network.total_sent
+        self._baseline_taken = True
+
+    # -- derived statistics ---------------------------------------------------
+    @property
+    def offered(self) -> int:
+        """Requests observed (after warmup)."""
+        return len(self.records)
+
+    @property
+    def granted(self) -> int:
+        return sum(1 for r in self.records if r.granted)
+
+    @property
+    def dropped(self) -> int:
+        return self.offered - self.granted
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+    def drop_rate_of(self, kind: str) -> float:
+        subset = [r for r in self.records if r.kind == kind]
+        if not subset:
+            return 0.0
+        return sum(1 for r in subset if not r.granted) / len(subset)
+
+    def acquisition_times(self, granted_only: bool = True) -> np.ndarray:
+        return np.array(
+            [
+                r.acquisition_time
+                for r in self.records
+                if r.granted or not granted_only
+            ]
+        )
+
+    def mean_acquisition_time(self) -> float:
+        times = self.acquisition_times()
+        return float(times.mean()) if times.size else 0.0
+
+    def acquisition_time_percentile(self, q: float) -> float:
+        times = self.acquisition_times()
+        return float(np.percentile(times, q)) if times.size else 0.0
+
+    def queue_waits(self) -> np.ndarray:
+        return np.array([r.queue_wait for r in self.records])
+
+    def mean_attempts(self) -> float:
+        """Average protocol attempts per *granted* request (paper's m)."""
+        values = [r.attempts for r in self.records if r.granted]
+        return float(np.mean(values)) if values else 0.0
+
+    def max_attempts(self) -> int:
+        values = [r.attempts for r in self.records]
+        return max(values) if values else 0
+
+    def mode_fractions(self) -> Dict[str, float]:
+        """ξ1/ξ2/ξ3: fraction of granted acquisitions per path."""
+        granted = [r for r in self.records if r.granted and r.mode]
+        if not granted:
+            return {}
+        out: Dict[str, float] = {}
+        for r in granted:
+            out[r.mode] = out.get(r.mode, 0) + 1
+        return {k: v / len(granted) for k, v in sorted(out.items())}
+
+    def per_cell_drop_rates(self) -> Dict[int, float]:
+        by_cell: Dict[int, List[bool]] = {}
+        for r in self.records:
+            by_cell.setdefault(r.cell, []).append(r.granted)
+        return {
+            cell: 1.0 - sum(grants) / len(grants)
+            for cell, grants in sorted(by_cell.items())
+        }
+
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-cell grant rates (1 = fair)."""
+        rates = [1.0 - d for d in self.per_cell_drop_rates().values()]
+        if not rates:
+            return 1.0
+        arr = np.array(rates)
+        denom = len(arr) * float((arr**2).sum())
+        if denom == 0:
+            return 1.0
+        return float(arr.sum()) ** 2 / denom
+
+    # -- message statistics -----------------------------------------------------
+    def messages_since_warmup(self, network) -> int:
+        base = self._message_baseline_total if self._baseline_taken else 0
+        return network.total_sent - base
+
+    def messages_by_kind(self, network) -> Dict[str, int]:
+        out = {}
+        for kind, count in network.sent_by_kind.items():
+            base = self._message_baseline.get(kind, 0) if self._baseline_taken else 0
+            delta = count - base
+            if delta:
+                out[kind] = delta
+        return dict(sorted(out.items()))
+
+    def messages_per_acquisition(self, network) -> float:
+        """Control messages per channel request (the paper's message
+        complexity, measured end to end including releases)."""
+        if not self.offered:
+            return 0.0
+        return self.messages_since_warmup(network) / self.offered

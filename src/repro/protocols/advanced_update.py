@@ -1,0 +1,234 @@
+"""Advanced update scheme (Dong & Lai [3]; paper §5, §6 and Figure 11).
+
+A refinement of basic update that saves messages two ways:
+
+1. a cell uses its own free primaries without asking anyone
+   (acquisition time 0 at low load — paper Table 2);
+2. to borrow channel r, a cell asks only the *primary* cells of r — the
+   paper's ``NP(c, r)``, ``n_p`` cells — instead of all N interference
+   neighbors.
+
+Primaries arbitrate concurrent borrows of their channel: the first
+request in flight gets a GRANT; a later-arriving request with an
+*older* timestamp gets only a CONDITIONAL_GRANT (valid only if the
+earlier grantee fails), and a younger one is rejected.  A requester
+succeeds only on unanimous unconditional grants.
+
+This reproduces the unfairness the paper criticises in Figure 11: if
+c2's messages overtake c1's in the network, both primaries grant c2 and
+c1 — despite its lower timestamp — fails.  Our adaptive scheme avoids
+this by always querying the full interference region.
+
+Reconstruction note (the original OSU TR [3] is not available): with
+arbiters restricted to primaries *inside* the requester's interference
+region, two interfering borrowers can have disjoint arbiter sets — no
+common serialization point — and our interference monitor caught real
+co-channel violations under load.  We therefore use as arbiters all
+primaries of r within distance 2R of the requester: for any two cells
+within reuse distance R of each other, every primary within R of one is
+within 2R of the other, so interfering requests always share at least
+one arbiter and safety is restored.  On the k=7/R=2 topology this is
+~8 arbiters per channel versus N = 18 neighbors, preserving the
+scheme's message-saving character (and its Figure 11 unfairness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..sim import Collector
+from .base import MSS
+from .messages import (
+    Acquisition,
+    AcqType,
+    Release,
+    ReqType,
+    Request,
+    ResType,
+    Response,
+    Timestamp,
+)
+
+__all__ = ["AdvancedUpdateMSS"]
+
+
+class AdvancedUpdateMSS(MSS):
+    """Primary-arbitrated borrowing (Dong & Lai's advanced update)."""
+
+    scheme = "advanced_update"
+
+    def __init__(self, *args, max_attempts: int = 25, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.max_attempts = max_attempts
+        #: Mirrored usage of cells we hear broadcasts from.
+        self.U: Dict[int, Set[int]] = {}
+        #: As a primary/arbiter: channel -> (grantee, grantee_ts).
+        self.outstanding: Dict[int, Tuple[int, Timestamp]] = {}
+        self._collector: Optional[Collector] = None
+        self._collector_round = -1
+        # Arbiter map: channel -> primary cells of that channel within
+        # distance 2R (excluding ourselves).  See reconstruction note.
+        grid = self.topo.grid
+        reach = 2 * self.topo.interference_radius
+        self._arbiters: Dict[int, Tuple[int, ...]] = {}
+        near = [
+            p for p in grid if p != self.cell
+            and grid.distance(self.cell, p) <= reach
+        ]
+        for ch in sorted(self.spectrum):
+            self._arbiters[ch] = tuple(
+                p for p in near if ch in self.topo.PR(p)
+            )
+        #: Everyone who must hear our borrowed-channel events.
+        self._notify: Dict[int, Tuple[int, ...]] = {
+            ch: tuple(sorted(set(self.IN) | set(self._arbiters[ch])))
+            for ch in sorted(self.spectrum)
+        }
+
+    def arbiters(self, channel: int) -> Tuple[int, ...]:
+        """Arbiter cells whose unanimous grant a borrow of ``channel``
+        requires (the reconstruction's ``NP(c, r)``)."""
+        return self._arbiters[channel]
+
+    def interfered(self) -> Set[int]:
+        """Channels known in use within our interference region."""
+        result: Set[int] = set()
+        for holder, use_j in self.U.items():
+            if holder in self.topo.IN(self.cell):
+                result |= use_j
+        return result
+
+    def granted_channels(self) -> Set[int]:
+        """Own primaries currently granted out to a borrower."""
+        return set(self.outstanding)
+
+    # -- requesting -----------------------------------------------------------
+    def _request(self, ts: Timestamp):
+        # Local primary first: zero acquisition latency.  Channels we
+        # granted to a pending borrower are off limits until released.
+        free_primary = (
+            self.PR - self.use - self.interfered() - self.granted_channels()
+        )
+        if free_primary:
+            self._attempts = 1
+            self._grant_mode = "local"
+            channel = min(free_primary)
+            self._grab(channel)
+            self._broadcast(Acquisition(AcqType.NON_SEARCH, self.cell, channel))
+            return channel
+
+        yield from ()  # generator even on the immediate-drop path
+        attempts = 0
+        refused = set()  # channels refused by an arbiter this request
+        self._grant_mode = "update"
+        while attempts < self.max_attempts:
+            attempts += 1
+            self._attempts = attempts
+            free = self.spectrum - self.PR - self.use - self.interfered()
+            candidates = [
+                ch for ch in sorted(free)
+                if self._arbiters[ch] and ch not in refused
+            ]
+            if not candidates:
+                return None
+            # Spread concurrent borrowers across the candidate list by
+            # cell id: hot-spot neighbors otherwise all fight over the
+            # globally lowest free channel and reject each other.
+            channel = candidates[self.cell % len(candidates)]
+            arbiters = self._arbiters[channel]
+
+            round_id = self._next_round()
+            self._collector = Collector(self.env, arbiters)
+            self._collector_round = round_id
+            for p in arbiters:
+                self._send(
+                    p, Request(ReqType.UPDATE, channel, ts, self.cell, round_id)
+                )
+            verdicts = yield self._collector.done
+            self._collector = None
+
+            if all(v is ResType.GRANT for v in verdicts.values()):
+                self._grab(channel)
+                self.network.multicast(
+                    self.cell,
+                    self._notify[channel],
+                    Acquisition(AcqType.NON_SEARCH, self.cell, channel),
+                )
+                return channel
+            # Failure: release the arbiters that did grant so they can
+            # clear their outstanding-grant entry (the paper's
+            # ``n_p (m-1)`` extra messages) and avoid re-requesting the
+            # same channel this request.
+            refused.add(channel)
+            for p, verdict in verdicts.items():
+                if verdict in (ResType.GRANT, ResType.CONDITIONAL_GRANT):
+                    self._send(p, Release(self.cell, channel))
+        return None
+
+    def _release(self, channel: int) -> None:
+        self._drop_from_use(channel)
+        if channel in self.PR:
+            self._broadcast(Release(self.cell, channel))
+        else:
+            self.network.multicast(
+                self.cell, self._notify[channel], Release(self.cell, channel)
+            )
+
+    # -- arbiter side -------------------------------------------------------------
+    def _on_Request(self, msg: Request) -> None:
+        channel = msg.channel
+        if channel not in self.PR:
+            raise AssertionError(
+                f"cell {self.cell} asked to arbitrate non-primary channel {channel}"
+            )
+        verdict = self._arbitrate(channel, msg.sender, msg.ts)
+        self._send(
+            msg.sender, Response(verdict, self.cell, channel, msg.round_id)
+        )
+
+    def _arbitrate(self, channel: int, requester: int, ts: Timestamp) -> ResType:
+        if channel in self.use:
+            return ResType.REJECT
+        # Reject if we know of a user that interferes with the requester.
+        requester_region = self.topo.IN(requester)
+        for holder, use_j in self.U.items():
+            if channel in use_j and (
+                holder == requester or holder in requester_region
+            ):
+                return ResType.REJECT
+        granted = self.outstanding.get(channel)
+        if granted is None:
+            self.outstanding[channel] = (requester, ts)
+            return ResType.GRANT
+        grantee, grantee_ts = granted
+        if grantee == requester:
+            # Retry from the same requester (lost release race): refresh.
+            self.outstanding[channel] = (requester, ts)
+            return ResType.GRANT
+        if ts < grantee_ts:
+            # Older request arriving late (message overtaking — Figure
+            # 11): only a conditional grant.  The earlier grantee keeps
+            # the real grant, so the older requester will fail.
+            return ResType.CONDITIONAL_GRANT
+        return ResType.REJECT
+
+    # -- message handlers ----------------------------------------------------------
+    def _on_Response(self, msg: Response) -> None:
+        if (
+            self._collector is not None
+            and msg.round_id == self._collector_round
+            and msg.sender in self._collector.outstanding
+        ):
+            self._collector.deliver(msg.sender, msg.res_type)
+
+    def _on_Acquisition(self, msg: Acquisition) -> None:
+        self.U.setdefault(msg.sender, set()).add(msg.channel)
+        granted = self.outstanding.get(msg.channel)
+        if granted is not None and granted[0] == msg.sender:
+            del self.outstanding[msg.channel]
+
+    def _on_Release(self, msg: Release) -> None:
+        self.U.setdefault(msg.sender, set()).discard(msg.channel)
+        granted = self.outstanding.get(msg.channel)
+        if granted is not None and granted[0] == msg.sender:
+            del self.outstanding[msg.channel]

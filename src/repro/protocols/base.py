@@ -1,0 +1,245 @@
+"""Protocol framework: the mobile service station (MSS) base class.
+
+Every allocation scheme is an :class:`MSS` subclass attached to one
+cell.  The base class provides:
+
+* the public call-level API used by the traffic layer —
+  :meth:`request_channel` (a generator to ``yield from``) and
+  :meth:`release_channel`;
+* per-MSS serialization of channel acquisitions (the paper's pseudocode
+  processes one ``Request_Channel`` at a time per node; concurrent call
+  arrivals queue);
+* message dispatch from the network to ``_on_<MessageType>`` handlers;
+* timestamp generation (``(time, node_id)`` pairs — the paper's
+  "timestamp of the node at the time of generating the request");
+* bookkeeping hooks into the metrics collector and the global
+  interference monitor.
+
+Subclasses implement ``_request(ts) -> channel | None`` (plain function
+or generator) and ``_release(channel)``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+from typing import Any, Deque, Dict, FrozenSet, Optional, Set
+
+from ..cellular import CellularTopology
+from ..sim import Environment, Envelope, Network, Resource
+from .messages import Timestamp
+from .monitor import InterferenceMonitor
+
+__all__ = ["MSS"]
+
+
+class MSS:
+    """Base mobile service station (one per cell).
+
+    Parameters
+    ----------
+    env, network, topo:
+        Simulation environment, message fabric, cellular topology.
+    cell:
+        This station's cell id; doubles as the network node id.
+    metrics:
+        Optional :class:`repro.metrics.MetricsCollector`.
+    monitor:
+        Optional :class:`InterferenceMonitor` for safety checking.
+    """
+
+    #: Human-readable scheme name (subclasses override).
+    scheme = "abstract"
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        topo: CellularTopology,
+        cell: int,
+        metrics: Any = None,
+        monitor: Optional[InterferenceMonitor] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.topo = topo
+        self.cell = cell
+        self.node_id = cell  # network address
+        self.metrics = metrics
+        self.monitor = monitor
+
+        #: Channels currently in use by this cell (paper's ``Use_i``).
+        self.use: Set[int] = set()
+        #: Interference region ids (paper's ``IN_i``), sorted for
+        #: deterministic iteration.
+        self.IN = tuple(sorted(topo.IN(cell)))
+        #: Primary set (paper's ``PR_i``).
+        self.PR: FrozenSet[int] = topo.PR(cell)
+        self.spectrum: FrozenSet[int] = topo.spectrum.all_channels
+
+        self._lock = Resource(env, capacity=1)
+        self._round_counter = 0
+        self._req_kind = "new"
+        #: Channel-reassignment aliases: when an MSS internally moves a
+        #: call from channel b to channel r (repacking), the holder of b
+        #: still releases "b" — the alias redirects that to r.  A
+        #: retired id can be re-borrowed by a *new* call while the old
+        #: alias is outstanding, so each id maps to a FIFO of targets
+        #: (the calls are physically interchangeable, any pairing works).
+        self._alias: Dict[int, "deque[int]"] = {}
+        network.attach(self)
+
+    # ------------------------------------------------------------------
+    # Public call-level API (used by the traffic layer)
+    # ------------------------------------------------------------------
+    def request_channel(self, kind: str = "new", setup_deadline: float = None):
+        """Acquire a channel; generator returning the channel id or None.
+
+        ``kind`` labels the request for metrics ("new" or "handoff").
+        Acquisitions are serialized per MSS; the queueing delay behind
+        earlier requests of the same cell is recorded separately from
+        the protocol's own acquisition time.  If the protocol cannot
+        even *start* within ``setup_deadline`` (the MSS is busy with
+        earlier requests), the call abandons — blocked-calls-cleared
+        semantics, which keeps offered load well defined at overload.
+        """
+        t_arrival = self.env.now
+        #: Kind of the request being served ("new"/"handoff"), readable
+        #: by protocols implementing admission policies (guard channels).
+        self._req_kind = kind
+        lock_req = self._lock.request()
+        if setup_deadline is not None and not lock_req.triggered:
+            yield self.env.any_of([lock_req, self.env.timeout(setup_deadline)])
+            if not lock_req.triggered:
+                self._lock.cancel(lock_req)
+                if self.metrics is not None:
+                    self.metrics.record_acquisition(
+                        cell=self.cell,
+                        kind=kind,
+                        granted=False,
+                        queue_wait=setup_deadline,
+                        acquisition_time=0.0,
+                        attempts=0,
+                        mode="queue_timeout",
+                        time=self.env.now,
+                    )
+                return None
+        else:
+            yield lock_req
+        t_start = self.env.now
+        ts: Timestamp = (t_start, self.cell)
+        self._attempts = 0  # protocols update this as they retry
+        try:
+            outcome = self._request(ts)
+            if inspect.isgenerator(outcome):
+                channel = yield from outcome
+            else:
+                channel = outcome
+        finally:
+            self._lock.release()
+        t_done = self.env.now
+
+        if channel is not None:
+            if channel not in self.use:
+                raise AssertionError(
+                    f"protocol bug: granted channel {channel} not in Use_{self.cell}"
+                )
+        if self.metrics is not None:
+            self.metrics.record_acquisition(
+                cell=self.cell,
+                kind=kind,
+                granted=channel is not None,
+                queue_wait=t_start - t_arrival,
+                acquisition_time=t_done - t_start,
+                attempts=self._attempts,
+                mode=getattr(self, "_grant_mode", None),
+                time=t_done,
+            )
+        return channel
+
+    def release_channel(self, channel: int) -> None:
+        """Relinquish a channel this cell holds.
+
+        The id is resolved through the reassignment alias map first
+        (repacking may have moved the call to a different physical
+        channel), and the protocol may substitute another channel to
+        retire instead (e.g. free a borrowed channel and keep the
+        primary for the remaining call).
+        """
+        aliases = self._alias.get(channel)
+        if aliases:
+            resolved = aliases.popleft()
+            if not aliases:
+                del self._alias[channel]
+            channel = resolved
+        if channel not in self.use:
+            raise ValueError(
+                f"cell {self.cell} does not hold channel {channel}"
+            )
+        channel = self._repack_substitute(channel)
+        self._release(channel)
+        if channel in self.use:
+            raise AssertionError(
+                f"protocol bug: _release left channel {channel} in Use_{self.cell}"
+            )
+        if self.metrics is not None:
+            self.metrics.record_release(self.cell, channel, self.env.now)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Called once after all stations are attached (optional)."""
+
+    def _request(self, ts: Timestamp):
+        raise NotImplementedError
+
+    def _release(self, channel: int) -> None:
+        raise NotImplementedError
+
+    def _repack_substitute(self, channel: int) -> int:
+        """Optionally retire a different channel than the one released
+        (channel reassignment).  Default: no reassignment."""
+        return channel
+
+    # -- shared helpers -----------------------------------------------------
+    def _grab(self, channel: int) -> None:
+        """Add a channel to Use and notify the interference monitor."""
+        self.use.add(channel)
+        if self.monitor is not None:
+            self.monitor.acquired(self.cell, channel, self.env.now)
+
+    def _drop_from_use(self, channel: int) -> None:
+        """Remove a channel from Use and notify the monitor."""
+        self.use.discard(channel)
+        if self.monitor is not None:
+            self.monitor.released(self.cell, channel, self.env.now)
+
+    def _next_round(self) -> int:
+        self._round_counter += 1
+        return self._round_counter
+
+    def _send(self, dst: int, payload: Any) -> None:
+        self.network.send(self.cell, dst, payload)
+
+    def _broadcast(self, payload: Any, dsts=None) -> int:
+        """Send ``payload`` to every cell in ``dsts`` (default: IN_i)."""
+        targets = self.IN if dsts is None else dsts
+        return self.network.multicast(self.cell, targets, payload)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, envelope: Envelope) -> None:
+        """Route an incoming envelope to ``_on_<PayloadClass>``."""
+        handler = getattr(self, f"_on_{type(envelope.payload).__name__}", None)
+        if handler is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no handler for "
+                f"{type(envelope.payload).__name__}"
+            )
+        handler(envelope.payload)
+
+    # -- debugging ----------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} cell={self.cell} use={sorted(self.use)}>"

@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate (kernel, sync primitives, network).
+
+This subpackage knows nothing about cellular networks or channel
+allocation; it is a general-purpose deterministic DES kernel in the
+process-interaction style, plus a latency-modelled message fabric.
+"""
+
+from .engine import EmptySchedule, Environment, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    ConditionEvent,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .network import (
+    DeterministicLatency,
+    Envelope,
+    ExponentialLatency,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
+from .resources import Collector, Gate, Resource, Store
+from .rng import StreamRegistry
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+    "Gate",
+    "Store",
+    "Resource",
+    "Collector",
+    "Network",
+    "Envelope",
+    "LatencyModel",
+    "DeterministicLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "StreamRegistry",
+]

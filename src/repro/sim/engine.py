@@ -1,0 +1,179 @@
+"""Deterministic discrete-event simulation environment.
+
+The :class:`Environment` owns the event queue and the simulation clock.
+Events scheduled for the same time are processed in (priority,
+insertion-order) sequence, so a simulation with a fixed seed is fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when the queue is exhausted."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at an event."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection --------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between resumptions)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put a triggered event on the queue ``delay`` units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events remain, and re-raises
+        any un-defused event failure (a crashed process nobody waited on).
+        """
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # late callback registration is a bug
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it to the caller.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"unhandled failed event with value {exc!r}")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue empties;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (re-raising its exception on failure).
+        """
+        if until is None:
+            stop: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop = until
+            if stop._processed:
+                return stop._value if stop._ok else self._reraise(stop)
+            assert stop.callbacks is not None
+            stop.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} lies before now={self._now}")
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            stop.callbacks = [self._stop_callback]
+            # Priority below URGENT/NORMAL range ensures nothing else at
+            # time `at` runs before we halt? No: we want events *at* `at`
+            # to be inspectable but SimPy halts before processing events
+            # at `at` with priority URGENT. We use URGENT so the clock
+            # advances to `at` and stops before NORMAL events there.
+            self._eid += 1
+            heapq.heappush(self._queue, (at, -1, self._eid, stop))
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop_exc:
+            return stop_exc.args[0]
+        except EmptySchedule:
+            if stop is not None and not stop._processed:
+                if isinstance(until, Event):
+                    raise RuntimeError(
+                        "no more events; the `until` event was never triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _reraise(event: Event) -> Any:
+        exc = event._value
+        event.defuse()
+        if isinstance(exc, BaseException):
+            raise exc
+        raise RuntimeError(f"event failed with value {exc!r}")
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        exc = event._value
+        event._defused = True
+        if isinstance(exc, BaseException):
+            raise exc
+        raise RuntimeError(f"event failed with value {exc!r}")

@@ -1,0 +1,230 @@
+"""Message-passing network substrate.
+
+Nodes register with the network and receive messages through their
+``on_message(msg)`` method.  The network models per-message one-way
+latency (the paper's parameter ``T``), supports FIFO or non-FIFO
+per-link delivery (non-FIFO is required to reproduce the message
+overtaking of the paper's Figure 11), and exposes send/delivery hooks
+used by the metrics layer to count control messages by type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from .engine import Environment
+
+__all__ = [
+    "Envelope",
+    "LatencyModel",
+    "DeterministicLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Network",
+    "NetworkNode",
+]
+
+
+class NetworkNode(Protocol):
+    """Anything that can be attached to a :class:`Network`."""
+
+    node_id: int
+
+    def on_message(self, envelope: "Envelope") -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class Envelope:
+    """A message in flight: payload plus routing/timing metadata."""
+
+    src: int
+    dst: int
+    payload: Any
+    sent_at: float
+    deliver_at: float = 0.0
+    seq: int = 0
+
+    @property
+    def kind(self) -> str:
+        """Message-type name used for per-type counting."""
+        return type(self.payload).__name__
+
+
+class LatencyModel:
+    """Base class: maps (src, dst) to a one-way delay sample."""
+
+    def sample(self, src: int, dst: int) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def max_delay(self) -> float:
+        """Upper bound used by protocols for round-trip estimates (2T)."""
+        raise NotImplementedError
+
+
+class DeterministicLatency(LatencyModel):
+    """Every message takes exactly ``T`` time units."""
+
+    def __init__(self, T: float = 1.0) -> None:
+        if T <= 0:
+            raise ValueError("latency must be positive")
+        self.T = float(T)
+
+    def sample(self, src: int, dst: int) -> float:
+        return self.T
+
+    @property
+    def max_delay(self) -> float:
+        return self.T
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in [lo, hi); enables message overtaking."""
+
+    def __init__(self, lo: float, hi: float, rng: np.random.Generator) -> None:
+        if not (0 < lo <= hi):
+            raise ValueError("need 0 < lo <= hi")
+        self.lo, self.hi = float(lo), float(hi)
+        self._rng = rng
+
+    def sample(self, src: int, dst: int) -> float:
+        return float(self._rng.uniform(self.lo, self.hi))
+
+    @property
+    def max_delay(self) -> float:
+        return self.hi
+
+
+class ExponentialLatency(LatencyModel):
+    """Shifted exponential latency: base + Exp(mean_extra)."""
+
+    def __init__(
+        self, base: float, mean_extra: float, rng: np.random.Generator, cap: float = None
+    ) -> None:
+        if base <= 0 or mean_extra < 0:
+            raise ValueError("need base > 0 and mean_extra >= 0")
+        self.base = float(base)
+        self.mean_extra = float(mean_extra)
+        self.cap = float(cap) if cap is not None else self.base + 10 * max(
+            self.mean_extra, 1e-9
+        )
+        self._rng = rng
+
+    def sample(self, src: int, dst: int) -> float:
+        extra = float(self._rng.exponential(self.mean_extra)) if self.mean_extra else 0.0
+        return min(self.base + extra, self.cap)
+
+    @property
+    def max_delay(self) -> float:
+        return self.cap
+
+
+class Network:
+    """Latency-modelled message fabric connecting protocol nodes.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    latency:
+        One-way delay model (default: deterministic ``T=1``).
+    fifo:
+        If True (default), delivery order per (src, dst) link matches
+        send order even under random latency.  Set False to allow
+        overtaking (needed for the Figure 11 scenario).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+    ) -> None:
+        self.env = env
+        self.latency = latency or DeterministicLatency(1.0)
+        self.fifo = fifo
+        self._nodes: Dict[int, NetworkNode] = {}
+        self._last_delivery: Dict[tuple, float] = {}
+        self._seq = 0
+        #: Total messages sent, by payload type name.
+        self.sent_by_kind: Dict[str, int] = {}
+        #: Total messages sent overall.
+        self.total_sent = 0
+        #: Optional hooks: called with the envelope at send / delivery time.
+        self.on_send: List[Callable[[Envelope], None]] = []
+        self.on_deliver: List[Callable[[Envelope], None]] = []
+
+    # -- topology ----------------------------------------------------------
+    def attach(self, node: NetworkNode) -> None:
+        """Register a node; its ``node_id`` must be unique."""
+        nid = node.node_id
+        if nid in self._nodes:
+            raise ValueError(f"duplicate node id {nid}")
+        self._nodes[nid] = node
+
+    def node(self, node_id: int) -> NetworkNode:
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self):
+        return self._nodes.keys()
+
+    # -- messaging -----------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, delay_override: float = None) -> Envelope:
+        """Send ``payload`` from ``src`` to ``dst``; returns the envelope.
+
+        ``delay_override`` forces a specific latency for this message
+        (used by adversarial scenario construction, e.g. Figure 11).
+        """
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        now = self.env.now
+        delay = (
+            float(delay_override)
+            if delay_override is not None
+            else self.latency.sample(src, dst)
+        )
+        deliver_at = now + delay
+        if self.fifo:
+            link = (src, dst)
+            floor = self._last_delivery.get(link, 0.0)
+            deliver_at = max(deliver_at, floor)
+            self._last_delivery[link] = deliver_at
+
+        self._seq += 1
+        env_msg = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            sent_at=now,
+            deliver_at=deliver_at,
+            seq=self._seq,
+        )
+        self.total_sent += 1
+        kind = env_msg.kind
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        for hook in self.on_send:
+            hook(env_msg)
+
+        delivery = self.env.timeout(deliver_at - now, env_msg)
+        assert delivery.callbacks is not None
+        delivery.callbacks.append(self._deliver)
+        return env_msg
+
+    def multicast(self, src: int, dsts, payload: Any) -> int:
+        """Send ``payload`` to each destination; returns message count."""
+        count = 0
+        for dst in dsts:
+            self.send(src, dst, payload)
+            count += 1
+        return count
+
+    def _deliver(self, event) -> None:
+        env_msg: Envelope = event.value
+        for hook in self.on_deliver:
+            hook(env_msg)
+        self._nodes[env_msg.dst].on_message(env_msg)

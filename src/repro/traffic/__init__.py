@@ -1,0 +1,31 @@
+"""Traffic workloads: load patterns, call lifecycle, arrival processes."""
+
+from .calls import CallConfig, CallLog, call_process
+from .mix import TrafficClass, TrafficMix
+from .waypoint import WaypointHost, waypoint_call_process
+from .patterns import (
+    HotspotLoad,
+    LoadPattern,
+    PiecewiseLoad,
+    RampLoad,
+    TemporalHotspot,
+    UniformLoad,
+)
+from .source import TrafficSource
+
+__all__ = [
+    "LoadPattern",
+    "UniformLoad",
+    "HotspotLoad",
+    "TemporalHotspot",
+    "RampLoad",
+    "PiecewiseLoad",
+    "CallConfig",
+    "CallLog",
+    "call_process",
+    "TrafficSource",
+    "TrafficClass",
+    "TrafficMix",
+    "WaypointHost",
+    "waypoint_call_process",
+]

@@ -1,0 +1,107 @@
+"""Call lifecycle: acquisition, holding, mobility/handoff, release.
+
+A *call* is one simulation process: it asks the serving MSS for a
+channel, holds it for an exponentially distributed duration, optionally
+hops to adjacent cells (handoff: release in the old cell, re-acquire in
+the new cell — paper §2.1), and releases on completion.  A denied
+acquisition ends the call immediately: a denied "new" request is a
+blocked call, a denied "handoff" request is a forced termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..sim import Environment
+
+__all__ = ["CallConfig", "call_process", "CallLog"]
+
+
+@dataclass
+class CallConfig:
+    """Holding-time and mobility parameters of the call population."""
+
+    mean_holding: float = 180.0
+    #: Mean cell-dwell time of a moving host; ``None`` disables mobility.
+    mean_dwell: Optional[float] = None
+    #: Give up if the MSS cannot start serving the request within this
+    #: long (blocked-calls-cleared at overload); ``None`` waits forever.
+    setup_deadline: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mean_holding <= 0:
+            raise ValueError("mean_holding must be positive")
+        if self.mean_dwell is not None and self.mean_dwell <= 0:
+            raise ValueError("mean_dwell must be positive")
+        if self.setup_deadline is not None and self.setup_deadline <= 0:
+            raise ValueError("setup_deadline must be positive")
+
+
+@dataclass
+class CallLog:
+    """Aggregate call-completion accounting (beyond per-request metrics)."""
+
+    started: int = 0
+    blocked: int = 0
+    completed: int = 0
+    handoffs_attempted: int = 0
+    handoffs_failed: int = 0
+
+    @property
+    def forced_termination_rate(self) -> float:
+        if not self.handoffs_attempted:
+            return 0.0
+        return self.handoffs_failed / self.handoffs_attempted
+
+
+def call_process(
+    env: Environment,
+    stations: Dict[int, "MSS"],
+    cell: int,
+    config: CallConfig,
+    rng: np.random.Generator,
+    log: Optional[CallLog] = None,
+):
+    """Simulation process for one call originating in ``cell``."""
+    mss = stations[cell]
+    if log is not None:
+        log.started += 1
+
+    channel = yield from mss.request_channel("new", config.setup_deadline)
+    if channel is None:
+        if log is not None:
+            log.blocked += 1
+        return
+
+    duration = float(rng.exponential(config.mean_holding))
+    remaining = duration
+    while True:
+        if config.mean_dwell is None:
+            dwell = float("inf")
+        else:
+            dwell = float(rng.exponential(config.mean_dwell))
+        step = min(remaining, dwell)
+        yield env.timeout(step)
+        remaining -= step
+        if remaining <= 0:
+            mss.release_channel(channel)
+            if log is not None:
+                log.completed += 1
+            return
+
+        # Handoff: move to a random adjacent cell, releasing the old
+        # channel and acquiring a fresh one in the new cell.
+        grid = mss.topo.grid
+        new_cell = grid.random_walk_step(mss.cell, rng)
+        mss.release_channel(channel)
+        mss = stations[new_cell]
+        if log is not None:
+            log.handoffs_attempted += 1
+        channel = yield from mss.request_channel("handoff", config.setup_deadline)
+        if channel is None:
+            if log is not None:
+                log.handoffs_failed += 1
+            return  # forced termination mid-call

@@ -1,0 +1,150 @@
+"""Spatio-temporal offered-load patterns.
+
+A :class:`LoadPattern` maps (cell, time) to a Poisson call-arrival rate
+λ (calls per time unit).  The patterns mirror the paper's motivating
+scenarios (§1):
+
+* :class:`UniformLoad` — the same rate everywhere (the regime where
+  fixed allocation is optimal);
+* :class:`HotspotLoad` — a persistent spatial hot spot: a few cells at
+  a high rate surrounded by lightly loaded cells (the regime where
+  static allocation drops calls despite idle neighbors);
+* :class:`TemporalHotspot` — a transient hot spot that switches on for
+  an interval (the paper's "even temporary hot spots" case);
+* :class:`RampLoad` — a linear load ramp for mode-transition studies.
+
+Rates are usually expressed through *Erlangs per cell* in the harness:
+offered load A = λ · mean_holding_time, so λ = A / holding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+__all__ = [
+    "LoadPattern",
+    "UniformLoad",
+    "HotspotLoad",
+    "TemporalHotspot",
+    "RampLoad",
+    "PiecewiseLoad",
+]
+
+
+class LoadPattern:
+    """Base class: per-cell, time-varying Poisson arrival rate."""
+
+    def rate(self, cell: int, t: float) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def max_rate(self, cell: int) -> float:
+        """Upper bound of ``rate(cell, ·)`` (for Poisson thinning)."""
+        raise NotImplementedError
+
+
+class UniformLoad(LoadPattern):
+    """Constant rate λ in every cell."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        self._rate = float(rate)
+
+    def rate(self, cell: int, t: float) -> float:
+        return self._rate
+
+    def max_rate(self, cell: int) -> float:
+        return self._rate
+
+
+class HotspotLoad(LoadPattern):
+    """Persistent spatial hot spot: ``hot_rate`` in ``hot_cells``,
+    ``base_rate`` elsewhere."""
+
+    def __init__(
+        self, base_rate: float, hot_cells: Iterable[int], hot_rate: float
+    ) -> None:
+        if base_rate < 0 or hot_rate < 0:
+            raise ValueError("rates must be >= 0")
+        self.base_rate = float(base_rate)
+        self.hot_rate = float(hot_rate)
+        self.hot_cells = frozenset(hot_cells)
+
+    def rate(self, cell: int, t: float) -> float:
+        return self.hot_rate if cell in self.hot_cells else self.base_rate
+
+    def max_rate(self, cell: int) -> float:
+        return self.hot_rate if cell in self.hot_cells else self.base_rate
+
+
+class TemporalHotspot(LoadPattern):
+    """Hot cells burn at ``hot_rate`` only during [start, end)."""
+
+    def __init__(
+        self,
+        base_rate: float,
+        hot_cells: Iterable[int],
+        hot_rate: float,
+        start: float,
+        end: float,
+    ) -> None:
+        if not (0 <= start < end):
+            raise ValueError("need 0 <= start < end")
+        if base_rate < 0 or hot_rate < 0:
+            raise ValueError("rates must be >= 0")
+        self.base_rate = float(base_rate)
+        self.hot_rate = float(hot_rate)
+        self.hot_cells = frozenset(hot_cells)
+        self.start = float(start)
+        self.end = float(end)
+
+    def rate(self, cell: int, t: float) -> float:
+        if cell in self.hot_cells and self.start <= t < self.end:
+            return self.hot_rate
+        return self.base_rate
+
+    def max_rate(self, cell: int) -> float:
+        return (
+            max(self.hot_rate, self.base_rate)
+            if cell in self.hot_cells
+            else self.base_rate
+        )
+
+
+class RampLoad(LoadPattern):
+    """Rate grows linearly from ``start_rate`` to ``end_rate`` over
+    [0, duration], constant afterwards.  Same in every cell."""
+
+    def __init__(self, start_rate: float, end_rate: float, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if start_rate < 0 or end_rate < 0:
+            raise ValueError("rates must be >= 0")
+        self.start_rate = float(start_rate)
+        self.end_rate = float(end_rate)
+        self.duration = float(duration)
+
+    def rate(self, cell: int, t: float) -> float:
+        if t >= self.duration:
+            return self.end_rate
+        frac = max(t, 0.0) / self.duration
+        return self.start_rate + frac * (self.end_rate - self.start_rate)
+
+    def max_rate(self, cell: int) -> float:
+        return max(self.start_rate, self.end_rate)
+
+
+class PiecewiseLoad(LoadPattern):
+    """Explicit per-cell constant rates (e.g. measured city profiles)."""
+
+    def __init__(self, rates: Dict[int, float], default: float = 0.0) -> None:
+        if default < 0 or any(v < 0 for v in rates.values()):
+            raise ValueError("rates must be >= 0")
+        self.rates = dict(rates)
+        self.default = float(default)
+
+    def rate(self, cell: int, t: float) -> float:
+        return self.rates.get(cell, self.default)
+
+    def max_rate(self, cell: int) -> float:
+        return self.rates.get(cell, self.default)

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for protocol-level tests.
+
+``make_stack`` builds a minimal live system (env, network, topology,
+stations) for a given scheme so tests can drive individual requests
+deterministically; ``drive``/``drive_all`` run request generators to
+completion inside the event loop.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.cellular import CellularTopology
+from repro.metrics import MetricsCollector
+from repro.protocols import InterferenceMonitor
+from repro.sim import DeterministicLatency, Environment, Network
+
+
+def make_stack(
+    scheme_cls,
+    rows: int = 7,
+    cols: int = 7,
+    num_channels: int = 70,
+    T: float = 1.0,
+    monitor_policy: str = "raise",
+    **mss_kwargs,
+):
+    """Build a full protocol stack with one MSS per cell."""
+    env = Environment()
+    topo = CellularTopology(rows, cols, num_channels=num_channels, wrap=True)
+    network = Network(env, DeterministicLatency(T))
+    metrics = MetricsCollector()
+    monitor = InterferenceMonitor(topo, policy=monitor_policy)
+    stations = {}
+    for cell in topo.grid:
+        stations[cell] = scheme_cls(
+            env, network, topo, cell, metrics=metrics, monitor=monitor,
+            **mss_kwargs,
+        )
+    for s in stations.values():
+        s.start()
+    return env, network, topo, stations, monitor, metrics
+
+
+def drive(env: Environment, generator):
+    """Run one request generator to completion, return its value."""
+    proc = env.process(generator)
+    return env.run(until=proc)
+
+
+def drive_all(env: Environment, generators):
+    """Run several request generators concurrently; return their values."""
+    procs = [env.process(g) for g in generators]
+    env.run(until=env.all_of(procs))
+    return [p.value for p in procs]
+
+
+@pytest.fixture
+def grant_all(request):
+    """Convenience: acquire ``n`` channels in one cell."""
+
+    def _grant(env, station, n):
+        got = []
+        for _ in range(n):
+            ch = drive(env, station.request_channel())
+            assert ch is not None
+            got.append(ch)
+        return got
+
+    return _grant

@@ -1,0 +1,158 @@
+"""Unit tests for the advanced update baseline (primary arbitration)."""
+
+import pytest
+
+from repro.protocols import AdvancedUpdateMSS, ResType
+
+from conftest import drive, drive_all, make_stack
+
+
+def test_local_primary_zero_latency():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    ch = drive(env, stations[0].request_channel())
+    assert ch in topo.PR(0)
+    assert env.now == 0.0
+
+
+def test_local_acquisition_broadcasts_to_region():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    N = len(topo.IN(0))
+    drive(env, stations[0].request_channel())
+    assert net.sent_by_kind == {"Acquisition": N}
+    env.run()
+    for j in topo.IN(0):
+        assert stations[j].U[0]
+
+
+def test_release_broadcasts():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    N = len(topo.IN(0))
+    ch = drive(env, stations[0].request_channel())
+    stations[0].release_channel(ch)
+    assert net.sent_by_kind["Release"] == N
+
+
+def exhaust_primaries(env, topo, stations, cell):
+    for _ in range(len(topo.PR(cell))):
+        assert drive(env, stations[cell].request_channel()) is not None
+    env.run()  # flush broadcasts
+
+
+def test_borrow_asks_only_arbiters():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    exhaust_primaries(env, topo, stations, 0)
+    before = dict(net.sent_by_kind)
+    ch = drive(env, stations[0].request_channel())
+    assert ch is not None and ch not in topo.PR(0)
+    arbiters = stations[0].arbiters(ch)
+    sent_requests = net.sent_by_kind["Request"] - before.get("Request", 0)
+    assert sent_requests == len(arbiters)
+    # Fewer arbiters than interference neighbors: the scheme's point.
+    assert len(arbiters) < len(topo.IN(0))
+
+
+def test_arbiters_cover_interfering_requesters():
+    # Reconstruction property: any two cells within the reuse distance
+    # share at least one arbiter for every channel (the serialization
+    # point that makes the scheme safe).
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    cell = 0
+    for other in topo.IN(cell):
+        for ch in range(0, 70, 13):
+            if ch in topo.PR(cell) or ch in topo.PR(other):
+                continue
+            common = set(stations[cell].arbiters(ch)) & set(
+                stations[other].arbiters(ch)
+            ) | ({cell} & set(stations[other].arbiters(ch))) | (
+                {other} & set(stations[cell].arbiters(ch))
+            )
+            assert common, f"cells {cell},{other} share no arbiter for {ch}"
+
+
+def test_concurrent_interfering_borrows_never_collide():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    a, b = 0, sorted(topo.IN(0))[0]
+    exhaust_primaries(env, topo, stations, a)
+    exhaust_primaries(env, topo, stations, b)
+    got = drive_all(
+        env, [stations[a].request_channel(), stations[b].request_channel()]
+    )
+    granted = [g for g in got if g is not None]
+    assert len(set(granted)) == len(granted)
+    assert not monitor.violations
+
+
+def test_primary_blocks_own_channel_while_granted_out():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    s = stations[0]
+    ch = min(topo.PR(0))
+    ts = (0.0, 99)
+    grantee = sorted(topo.IN(0))[0]
+    verdict = s._arbitrate(ch, grantee, ts)
+    assert verdict is ResType.GRANT
+    assert ch in s.granted_channels()
+    # Own local acquisition must now skip the granted channel.
+    got = drive(env, s.request_channel())
+    assert got != ch
+
+
+def test_conditional_grant_on_timestamp_inversion():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    s = stations[0]
+    ch = min(topo.PR(0))
+    j_young, j_old = sorted(topo.IN(0))[:2]
+    # Younger request arrives first (message overtaking), gets the grant.
+    assert s._arbitrate(ch, j_young, (5.0, j_young)) is ResType.GRANT
+    # The older request arriving late gets only a conditional grant.
+    assert s._arbitrate(ch, j_old, (1.0, j_old)) is ResType.CONDITIONAL_GRANT
+    # An even younger third request is rejected outright.
+    j3 = sorted(topo.IN(0))[2]
+    assert s._arbitrate(ch, j3, (9.0, j3)) is ResType.REJECT
+
+
+def test_outstanding_cleared_by_release_and_acquisition():
+    from repro.protocols import Acquisition, AcqType, Release
+
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    s = stations[0]
+    ch = min(topo.PR(0))
+    grantee = sorted(topo.IN(0))[0]
+    s._arbitrate(ch, grantee, (1.0, grantee))
+    s._on_Release(Release(grantee, ch))
+    assert ch not in s.granted_channels()
+    s._arbitrate(ch, grantee, (2.0, grantee))
+    s._on_Acquisition(Acquisition(AcqType.NON_SEARCH, grantee, ch))
+    assert ch not in s.granted_channels()
+    assert ch in s.U[grantee]
+
+
+def test_arbitrate_rejects_known_interfering_user():
+    from repro.protocols import Acquisition, AcqType
+
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    s = stations[0]
+    ch = min(topo.PR(0))
+    user = sorted(topo.IN(0))[0]
+    requester = sorted(topo.IN(0))[1]
+    if requester not in topo.IN(user):  # pick an interfering pair
+        for candidate in sorted(topo.IN(0)):
+            if candidate != user and candidate in topo.IN(user):
+                requester = candidate
+                break
+    s._on_Acquisition(Acquisition(AcqType.NON_SEARCH, user, ch))
+    assert s._arbitrate(ch, requester, (1.0, requester)) is ResType.REJECT
+
+
+def test_drop_when_region_saturated():
+    env, net, topo, stations, monitor, metrics = make_stack(AdvancedUpdateMSS)
+    s = stations[0]
+    got = []
+    while True:
+        ch = drive(env, s.request_channel())
+        if ch is None:
+            break
+        got.append(ch)
+        env.run()
+    # Own 10 primaries plus every channel borrowable via arbiters.
+    assert len(got) >= len(topo.PR(0))
+    assert metrics.dropped == 1

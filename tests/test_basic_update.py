@@ -1,0 +1,103 @@
+"""Unit tests for the basic update scheme (Dong & Lai)."""
+
+import pytest
+
+from repro.protocols import BasicUpdateMSS
+
+from conftest import drive, drive_all, make_stack
+
+
+def test_single_acquisition_round_trip_and_messages():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    N = len(topo.IN(0))
+    ch = drive(env, stations[0].request_channel())
+    assert ch == 0  # lowest free channel per local info
+    assert env.now == 2.0  # one permission round trip
+    # N requests + N responses + N acquisition broadcasts
+    assert net.sent_by_kind == {"Request": N, "Response": N, "Acquisition": N}
+
+
+def test_release_broadcast():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    N = len(topo.IN(0))
+    ch = drive(env, stations[0].request_channel())
+    stations[0].release_channel(ch)
+    assert net.sent_by_kind["Release"] == N
+
+
+def test_neighbors_mirror_usage():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    ch = drive(env, stations[0].request_channel())
+    env.run()  # let the acquisition broadcast land
+    for j in topo.IN(0):
+        assert ch in stations[j].U[0]
+    stations[0].release_channel(ch)
+    env.run()
+    for j in topo.IN(0):
+        assert ch not in stations[j].U[0]
+
+
+def test_local_info_steers_channel_pick():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    b = sorted(topo.IN(0))[0]
+    ch0 = drive(env, stations[0].request_channel())
+    env.run()
+    chb = drive(env, stations[b].request_channel())
+    assert chb == min(set(range(70)) - {ch0})
+
+
+def test_concurrent_same_channel_conflict_resolved_by_timestamp():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    a, b = 0, sorted(topo.IN(0))[0]
+    # Both see channel 0 free and request it simultaneously.
+    got = drive_all(
+        env, [stations[a].request_channel(), stations[b].request_channel()]
+    )
+    assert None not in got
+    assert got[0] != got[1]
+    assert not monitor.violations
+    # The loser needed at least one retry.
+    assert metrics.max_attempts() >= 2
+
+
+def test_far_concurrent_requests_may_share_channel():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    far = next(c for c in topo.grid if c != 0 and c not in topo.IN(0))
+    got = drive_all(
+        env, [stations[0].request_channel(), stations[far].request_channel()]
+    )
+    assert got[0] == got[1] == 0  # both legally take the lowest channel
+
+
+def test_drop_when_local_info_shows_no_free_channel():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    s = stations[0]
+    for _ in range(70):
+        assert drive(env, s.request_channel()) is not None
+    assert drive(env, s.request_channel()) is None
+
+
+def test_max_attempts_cap():
+    env, net, topo, stations, monitor, metrics = make_stack(
+        BasicUpdateMSS, max_attempts=1
+    )
+    a, b = 0, sorted(topo.IN(0))[0]
+    got = drive_all(
+        env, [stations[a].request_channel(), stations[b].request_channel()]
+    )
+    # With a single attempt, the timestamp loser gives up instead of
+    # retrying; at most one request succeeds.
+    assert got.count(None) >= 1 or got[0] != got[1]
+
+
+def test_reject_when_channel_in_use():
+    env, net, topo, stations, monitor, metrics = make_stack(BasicUpdateMSS)
+    a, b = 0, sorted(topo.IN(0))[0]
+    ch = drive(env, stations[a].request_channel())
+    env.run()
+    # b now knows; but force the race: clear b's mirror so it asks for
+    # the same channel, and a must reject.
+    stations[b].U[a].discard(ch)
+    chb = drive(env, stations[b].request_channel())
+    assert chb != ch
+    assert not monitor.violations

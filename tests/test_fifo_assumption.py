@@ -1,0 +1,45 @@
+"""The adaptive protocol's FIFO-link assumption, made explicit.
+
+The paper never states it, but the waiting/ACQUISITION handshake
+requires per-link FIFO delivery: a searcher's ACQUISITION broadcast
+must reach a responder before the searcher's *next* search request
+does, or the responder would owe two unacknowledged responses to the
+same node.  Our implementation asserts this invariant at runtime, so
+running over a reordering network fails fast and loudly instead of
+corrupting counters silently.
+"""
+
+import pytest
+
+from repro import Scenario, run_scenario
+
+
+def test_fifo_links_required_and_violation_detected():
+    scenario = Scenario(
+        scheme="adaptive",
+        offered_load=9.0,
+        duration=800.0,
+        warmup=100.0,
+        latency_model="uniform",
+        latency_spread=2.0,
+        fifo=False,  # adversarial: allow message overtaking
+        seed=3,
+    )
+    with pytest.raises(AssertionError, match="second search response"):
+        run_scenario(scenario)
+
+
+def test_same_load_with_fifo_is_clean():
+    scenario = Scenario(
+        scheme="adaptive",
+        offered_load=9.0,
+        duration=800.0,
+        warmup=100.0,
+        latency_model="uniform",
+        latency_spread=2.0,
+        fifo=True,
+        seed=3,
+    )
+    rep = run_scenario(scenario)
+    assert rep.violations == 0
+    assert rep.offered > 500

@@ -1,0 +1,68 @@
+"""Tests for the markdown report generator tool."""
+
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+
+def test_quick_report_single_scheme(tmp_path):
+    from make_report import main
+
+    out = tmp_path / "r.md"
+    rc = main(
+        [
+            "-o", str(out),
+            "--quick",
+            "--presets", "paper_default",
+            "--schemes", "fixed",
+        ]
+    )
+    assert rc == 0
+    text = out.read_text()
+    assert "# Scheme comparison report" in text
+    assert "## paper_default" in text
+    assert "| fixed |" in text
+    assert "violations" in text
+
+
+def test_report_with_replications_shows_ci(tmp_path):
+    from make_report import main
+
+    out = tmp_path / "r.md"
+    rc = main(
+        [
+            "-o", str(out),
+            "--quick",
+            "--seeds", "2",
+            "--presets", "paper_default",
+            "--schemes", "fixed",
+        ]
+    )
+    assert rc == 0
+    assert "±" in out.read_text()
+
+
+def test_report_two_schemes_ordering(tmp_path):
+    from make_report import main
+
+    out = tmp_path / "r.md"
+    main(
+        [
+            "-o", str(out),
+            "--quick",
+            "--presets", "hot_cell",
+            "--schemes", "fixed", "adaptive",
+        ]
+    )
+    text = out.read_text()
+    fixed_line = next(l for l in text.splitlines() if l.startswith("| fixed"))
+    adaptive_line = next(
+        l for l in text.splitlines() if l.startswith("| adaptive")
+    )
+    fixed_drop = float(fixed_line.split("|")[2])
+    adaptive_drop = float(adaptive_line.split("|")[2])
+    assert adaptive_drop < fixed_drop  # hot spot: borrowing wins

@@ -1,0 +1,81 @@
+"""Unit tests for the interference monitor (Theorem 1 oracle)."""
+
+import pytest
+
+from repro.cellular import CellularTopology
+from repro.protocols import InterferenceMonitor
+
+
+@pytest.fixture
+def topo():
+    return CellularTopology(7, 7, num_channels=70, wrap=True)
+
+
+def test_conflicting_acquisition_raises(topo):
+    mon = InterferenceMonitor(topo, policy="raise")
+    neighbor = sorted(topo.IN(0))[0]
+    mon.acquired(0, 5, time=1.0)
+    with pytest.raises(AssertionError, match="interfering"):
+        mon.acquired(neighbor, 5, time=2.0)
+
+
+def test_far_cells_may_share_channel(topo):
+    mon = InterferenceMonitor(topo, policy="raise")
+    far = next(c for c in topo.grid if c != 0 and c not in topo.IN(0))
+    mon.acquired(0, 5, time=1.0)
+    mon.acquired(far, 5, time=2.0)  # no exception
+    assert mon.total_acquisitions == 2
+
+
+def test_record_policy_collects_violations(topo):
+    mon = InterferenceMonitor(topo, policy="record")
+    neighbor = sorted(topo.IN(0))[0]
+    mon.acquired(0, 5, time=1.0)
+    mon.acquired(neighbor, 5, time=2.0)
+    assert len(mon.violations) == 1
+    v = mon.violations[0]
+    assert v.channel == 5 and v.cell == neighbor and v.conflicting_cell == 0
+    with pytest.raises(AssertionError):
+        mon.assert_clean()
+
+
+def test_release_after_acquire_allows_reuse(topo):
+    mon = InterferenceMonitor(topo, policy="raise")
+    neighbor = sorted(topo.IN(0))[0]
+    mon.acquired(0, 5, time=1.0)
+    mon.released(0, 5, time=2.0)
+    mon.acquired(neighbor, 5, time=3.0)  # fine now
+
+
+def test_double_acquire_same_cell_rejected(topo):
+    mon = InterferenceMonitor(topo, policy="record")
+    mon.acquired(0, 5, time=1.0)
+    with pytest.raises(AssertionError, match="double-acquired"):
+        mon.acquired(0, 5, time=2.0)
+
+
+def test_release_without_hold_rejected(topo):
+    mon = InterferenceMonitor(topo, policy="raise")
+    with pytest.raises(AssertionError, match="does not hold"):
+        mon.released(0, 5, time=1.0)
+
+
+def test_usage_queries(topo):
+    mon = InterferenceMonitor(topo, policy="raise")
+    mon.acquired(0, 5, time=1.0)
+    mon.acquired(0, 6, time=1.0)
+    assert mon.channels_used_by(0) == {5, 6}
+    assert mon.in_use == 2
+    mon.released(0, 5, time=2.0)
+    assert mon.in_use == 1
+
+
+def test_unknown_policy_rejected(topo):
+    with pytest.raises(ValueError):
+        InterferenceMonitor(topo, policy="ignore")
+
+
+def test_assert_clean_passes_when_clean(topo):
+    mon = InterferenceMonitor(topo, policy="record")
+    mon.acquired(0, 5, time=1.0)
+    mon.assert_clean()

@@ -1,0 +1,101 @@
+"""Unit tests for the NFC sliding-window predictor (Fig. 6 machinery)."""
+
+import pytest
+
+from repro.core import NFCWindow
+
+
+def test_initial_value_returned_before_history():
+    w = NFCWindow(window=10, initial=7)
+    assert w.get(0) == 7
+    assert w.get(-100) == 7
+    assert w.current == 7
+
+
+def test_step_function_semantics():
+    w = NFCWindow(window=100)
+    w.add(10, 5)
+    w.add(20, 3)
+    w.add(30, 8)
+    assert w.get(5) == 0  # initial
+    assert w.get(10) == 5
+    assert w.get(15) == 5
+    assert w.get(20) == 3
+    assert w.get(29.999) == 3
+    assert w.get(30) == 8
+    assert w.get(1000) == 8
+
+
+def test_same_instant_update_supersedes():
+    w = NFCWindow(window=10)
+    w.add(5, 1)
+    w.add(5, 4)
+    assert w.get(5) == 4
+
+
+def test_out_of_order_add_rejected():
+    w = NFCWindow(window=10)
+    w.add(5, 1)
+    with pytest.raises(ValueError):
+        w.add(4, 2)
+
+
+def test_negative_count_rejected():
+    w = NFCWindow(window=10)
+    with pytest.raises(ValueError):
+        w.add(1, -1)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        NFCWindow(window=0)
+    with pytest.raises(ValueError):
+        NFCWindow(window=-5)
+
+
+def test_pruning_keeps_boundary_value():
+    w = NFCWindow(window=10)
+    w.add(0, 9)
+    w.add(100, 2)  # horizon = 90: the t=0 sample is clamped to t=90
+    assert w.get(90) == 9  # boundary still answerable
+    assert w.get(95) == 9
+    assert w.get(100) == 2
+    assert len(w) == 2
+
+
+def test_pruning_drops_interior_samples():
+    w = NFCWindow(window=5)
+    for t in range(20):
+        w.add(t, t % 3)
+    # Only samples within [14, 19] plus one boundary survive.
+    assert len(w) <= 8
+
+
+def test_predict_steady_state_is_flat():
+    w = NFCWindow(window=10)
+    w.add(0, 4)
+    w.add(50, 4)
+    assert w.predict(50, horizon=2) == pytest.approx(4.0)
+
+
+def test_predict_declining_trend_extrapolates_down():
+    w = NFCWindow(window=10)
+    w.add(0, 10)
+    w.add(10, 6)  # lost 4 channels over the window
+    # next = 6 + 2*(6-10)/10 = 5.2 for horizon 2
+    assert w.predict(10, horizon=2) == pytest.approx(5.2)
+
+
+def test_predict_rising_trend_extrapolates_up():
+    w = NFCWindow(window=10)
+    w.add(0, 2)
+    w.add(10, 6)
+    assert w.predict(10, horizon=5) == pytest.approx(6 + 5 * 0.4)
+
+
+def test_predict_uses_window_boundary_value():
+    w = NFCWindow(window=10, initial=0)
+    w.add(0, 10)
+    w.add(15, 4)
+    # At t=15: s=4, last=get(5)=10 → next = 4 + h*(4-10)/10
+    assert w.predict(15, horizon=10) == pytest.approx(4 - 6.0)

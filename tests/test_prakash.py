@@ -1,0 +1,117 @@
+"""Unit tests for the allocated-set scheme (Prakash et al., §6 comparison)."""
+
+import pytest
+
+from repro.protocols import PrakashMSS
+
+from conftest import drive, drive_all, make_stack
+
+
+def test_serves_from_allocated_set_silently():
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    ch = drive(env, stations[0].request_channel())
+    assert ch in topo.PR(0)  # initial allocated set = primaries
+    assert env.now == 0.0
+    assert net.total_sent == 0
+
+
+def test_release_keeps_allocation():
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    ch = drive(env, stations[0].request_channel())
+    stations[0].release_channel(ch)
+    assert ch in stations[0].allocated
+    assert net.total_sent == 0
+    # Reuse without messages: the adaptive-to-load property of [8].
+    assert drive(env, stations[0].request_channel()) == ch
+
+
+def test_transfer_migrates_channel_from_all_owners():
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    s = stations[0]
+    for _ in range(len(topo.PR(0))):
+        drive(env, s.request_channel())
+    # Next request cannot be served locally: poll + transfer.
+    ch = drive(env, s.request_channel())
+    assert ch is not None
+    assert ch not in topo.PR(0)
+    assert ch in s.allocated
+    env.run()  # flush confirms
+    # Every previous owner inside the region released its allocation.
+    for j in topo.IN(0):
+        assert ch not in stations[j].allocated
+        assert ch not in stations[j].pledged
+    assert not monitor.violations
+
+
+def test_transfer_costs_poll_plus_handshake():
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    s = stations[0]
+    for _ in range(len(topo.PR(0))):
+        drive(env, s.request_channel())
+    before = net.total_sent
+    drive(env, s.request_channel())
+    env.run()
+    N = len(topo.IN(0))
+    sent = net.total_sent - before
+    # Poll round (2N) plus TRANSFER/REPLY/CONFIRM per donor (3 each).
+    assert sent >= 2 * N + 3
+    assert net.sent_by_kind.get("Transfer", 0) >= 1
+    assert net.sent_by_kind.get("TransferReply", 0) >= 1
+
+
+def test_busy_owner_keeps_channel():
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    s = stations[0]
+    # A neighbor uses one of its primaries: that channel must not be
+    # chosen for transfer.
+    j = sorted(topo.IN(0))[0]
+    busy = drive(env, stations[j].request_channel())
+    for _ in range(len(topo.PR(0))):
+        drive(env, s.request_channel())
+    got = drive(env, s.request_channel())
+    assert got != busy
+    assert busy in stations[j].allocated
+
+
+def test_concurrent_interfering_requests_stay_safe():
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    a, b = 0, sorted(topo.IN(0))[0]
+    for cell in (a, b):
+        for _ in range(len(topo.PR(cell))):
+            drive(env, stations[cell].request_channel())
+    env.run()
+    got = drive_all(
+        env, [stations[a].request_channel(), stations[b].request_channel()]
+    )
+    granted = [g for g in got if g is not None]
+    assert len(set(granted)) == len(granted)
+    assert not monitor.violations
+
+
+def test_exclusivity_invariant_within_regions():
+    # After arbitrary churn, no channel is allocated by two interfering
+    # cells.
+    env, net, topo, stations, monitor, metrics = make_stack(PrakashMSS)
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+
+    def churn(cell):
+        held = []
+        for _ in range(12):
+            if held and rng.random() < 0.4:
+                stations[cell].release_channel(held.pop())
+            else:
+                ch = yield from stations[cell].request_channel()
+                if ch is not None:
+                    held.append(ch)
+            yield env.timeout(float(rng.exponential(3.0)))
+
+    drive_all(env, [churn(c) for c in range(0, 49, 3)])
+    env.run()
+    for cell in topo.grid:
+        for other in topo.IN(cell):
+            if cell < other:
+                common = stations[cell].allocated & stations[other].allocated
+                assert not common, (cell, other, common)
+    assert not monitor.violations

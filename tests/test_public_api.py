@@ -1,0 +1,59 @@
+"""Smoke tests on the package's public surface."""
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__
+
+
+def test_lazy_harness_exports_resolve():
+    for name in repro._HARNESS_EXPORTS:
+        assert getattr(repro, name) is not None
+
+
+def test_dir_lists_lazy_names():
+    listing = dir(repro)
+    assert "run_scenario" in listing
+    assert "Scenario" in listing
+    assert "preset" in listing
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.no_such_symbol
+
+
+def test_top_level_quickstart_flow():
+    report = repro.run_scenario(
+        repro.Scenario(
+            scheme="adaptive",
+            offered_load=3.0,
+            duration=400.0,
+            warmup=100.0,
+            mean_holding=60.0,
+            seed=6,
+        )
+    )
+    assert report.violations == 0
+    assert report.offered > 0
+
+
+def test_all_subpackage_exports_importable():
+    import repro.analysis
+    import repro.cellular
+    import repro.core
+    import repro.harness
+    import repro.metrics
+    import repro.protocols
+    import repro.sim
+    import repro.traffic
+
+    for module in (
+        repro.sim, repro.cellular, repro.protocols, repro.core,
+        repro.traffic, repro.metrics, repro.analysis, repro.harness,
+    ):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, (module, name)

@@ -1,0 +1,88 @@
+"""Tests for Resource.cancel (the call-setup-deadline machinery)."""
+
+import pytest
+
+from repro.sim import Environment, Resource
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()  # granted immediately
+    waiting = res.request()
+    assert res.queued == 1
+    res.cancel(waiting)
+    assert res.queued == 0
+    # Releasing now leaves the resource free (nobody waits).
+    res.release()
+    assert res.in_use == 0
+
+
+def test_cancel_granted_request_rejected():
+    env = Environment()
+    res = Resource(env)
+    granted = res.request()
+    with pytest.raises(RuntimeError, match="granted"):
+        res.cancel(granted)
+
+
+def test_cancel_unknown_event_rejected():
+    env = Environment()
+    res = Resource(env)
+    res.request()
+    stranger = env.event()
+    with pytest.raises(RuntimeError, match="not a queued request"):
+        res.cancel(stranger)
+
+
+def test_cancelled_waiter_skipped_on_release():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    impatient = res.request()
+    patient = res.request()
+    res.cancel(impatient)
+    res.release()  # must go to `patient`, not the cancelled one
+    env.run()
+    assert patient.triggered
+    assert not impatient.triggered
+
+
+def test_setup_deadline_end_to_end_queue_timeout():
+    """A call that can't start in time abandons cleanly and the lock
+    queue position is withdrawn (no ghost grants later)."""
+    from repro.protocols import FixedMSS
+    from conftest import make_stack
+
+    env, net, topo, stations, monitor, metrics = make_stack(FixedMSS)
+    s = stations[0]
+    results = []
+
+    def slow_holder():
+        # Monopolize the MSS lock without completing for a while.
+        yield s._lock.request()
+        yield env.timeout(100)
+        s._lock.release()
+
+    def impatient_call():
+        yield env.timeout(1)
+        ch = yield from s.request_channel("new", setup_deadline=5.0)
+        results.append(("impatient", ch, env.now))
+
+    def patient_call():
+        yield env.timeout(2)
+        ch = yield from s.request_channel("new", setup_deadline=None)
+        results.append(("patient", ch, env.now))
+
+    env.process(slow_holder())
+    env.process(impatient_call())
+    env.process(patient_call())
+    env.run()
+    impatient = next(r for r in results if r[0] == "impatient")
+    patient = next(r for r in results if r[0] == "patient")
+    assert impatient[1] is None and impatient[2] == pytest.approx(6.0)
+    assert patient[1] is not None and patient[2] == pytest.approx(100.0)
+    timeout_records = [
+        r for r in metrics.records if r.mode == "queue_timeout"
+    ]
+    assert len(timeout_records) == 1

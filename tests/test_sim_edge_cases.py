@@ -1,0 +1,210 @@
+"""Edge-case tests for the DES kernel: failure propagation, condition
+events under failure, interrupt corner cases, run() termination modes."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Environment,
+    Event,
+    Interrupt,
+)
+
+
+def test_condition_event_propagates_child_failure():
+    env = Environment()
+    good = env.timeout(1)
+    bad = env.event()
+
+    def failer():
+        yield env.timeout(0.5)
+        bad.fail(ValueError("child broke"))
+
+    env.process(failer())
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(env, [good, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["child broke"]
+
+
+def test_any_of_failure_beats_success():
+    env = Environment()
+    slow = env.timeout(10)
+    bad = env.event()
+
+    def failer():
+        yield env.timeout(1)
+        bad.fail(RuntimeError("fast failure"))
+
+    env.process(failer())
+
+    def waiter():
+        with pytest.raises(RuntimeError, match="fast failure"):
+            yield AnyOf(env, [slow, bad])
+        return "handled"
+
+    p = env.process(waiter())
+    assert env.run(until=p) == "handled"
+
+
+def test_condition_event_with_pre_processed_children():
+    env = Environment()
+    t1 = env.timeout(0)
+    env.run(until=1)  # t1 processed
+    t2 = env.timeout(1)
+
+    def waiter():
+        result = yield AllOf(env, [t1, t2])
+        return len(result)
+
+    p = env.process(waiter())
+    assert env.run(until=p) == 2
+
+
+def test_condition_event_cross_environment_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+def test_event_trigger_copies_success_and_failure():
+    env = Environment()
+    src_ok = env.event().succeed("v")
+    dst_ok = env.event()
+    env.run()
+    dst_ok.trigger(src_ok)
+    assert dst_ok.triggered and dst_ok._value == "v"
+
+    src_bad = env.event()
+    src_bad.fail(ValueError("x"))
+    env2_dst = env.event()
+    env2_dst.trigger(src_bad)
+    assert not env2_dst.ok
+    env2_dst.defuse()
+    with pytest.raises(EmptySchedule):
+        while True:
+            env.step()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_interrupt_cause_accessible():
+    exc = Interrupt("why")
+    assert exc.cause == "why"
+    assert Interrupt().cause is None
+
+
+def test_interrupt_during_immediate_resume():
+    # Interrupt a process that is waiting on an already-processed event
+    # (scheduled for immediate resumption).
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append("int")
+            # Continue and wait again; second interrupt also lands.
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append("int2")
+
+    def interrupter(victim):
+        yield env.timeout(1)
+        victim.interrupt()
+        yield env.timeout(1)
+        victim.interrupt()
+
+    v = env.process(sleeper())
+    env.process(interrupter(v))
+    env.run()
+    assert log == ["int", "int2"]
+
+
+def test_interrupted_process_ignores_original_wakeup():
+    env = Environment()
+    timeline = []
+
+    def sleeper():
+        try:
+            yield env.timeout(5)
+            timeline.append(("woke", env.now))
+        except Interrupt:
+            timeline.append(("interrupted", env.now))
+            yield env.timeout(100)
+            timeline.append(("second", env.now))
+
+    def interrupter(victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    v = env.process(sleeper())
+    env.process(interrupter(v))
+    env.run()
+    # The original t=5 wakeup must NOT resume the process a second time.
+    assert timeline == [("interrupted", 2), ("second", 102)]
+
+
+def test_run_until_processed_failed_event_reraises():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("already failed"))
+    ev.defuse()
+    env.run()  # processes the failed (defused) event
+    with pytest.raises(ValueError, match="already failed"):
+        env.run(until=ev)
+
+
+def test_run_until_event_that_fails_later():
+    env = Environment()
+    ev = env.event()
+
+    def failer():
+        yield env.timeout(3)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(failer())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=ev)
+
+
+def test_step_after_run_continues():
+    env = Environment()
+    env.timeout(1)
+    env.timeout(5)
+    env.run(until=2)
+    assert env.now == 2
+    env.step()
+    assert env.now == 5
+
+
+def test_callbacks_none_after_processing():
+    env = Environment()
+    t = env.timeout(1)
+    env.run()
+    assert t.callbacks is None
+    assert t.processed
+
+
+def test_environment_len_and_peek_track_queue():
+    env = Environment()
+    assert len(env) == 0
+    env.timeout(3)
+    env.timeout(1)
+    assert len(env) == 2
+    assert env.peek() == 1

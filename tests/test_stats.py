@@ -1,0 +1,81 @@
+"""Tests for replication statistics (CIs and paired comparisons)."""
+
+import math
+
+import pytest
+
+from repro.harness import CI, Scenario, compare, run_replications, summarize
+from repro.harness.stats import _interval, _t95
+
+
+def test_interval_known_values():
+    ci = _interval([1.0, 2.0, 3.0])
+    assert ci.mean == pytest.approx(2.0)
+    # s = 1, t(2, .95) = 4.303 → half = 4.303/sqrt(3)
+    assert ci.half_width == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+    assert ci.n == 3
+    assert ci.low < 2.0 < ci.high
+
+
+def test_interval_single_sample_infinite():
+    ci = _interval([5.0])
+    assert ci.mean == 5.0
+    assert math.isinf(ci.half_width)
+
+
+def test_interval_empty_rejected():
+    with pytest.raises(ValueError):
+        _interval([])
+
+
+def test_t95_table_and_normal_tail():
+    assert _t95(1) == pytest.approx(12.706)
+    assert _t95(30) == pytest.approx(2.042)
+    assert _t95(100) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        _t95(0)
+
+
+def test_ci_excludes_zero():
+    assert CI(1.0, 0.5, 5).excludes_zero()
+    assert CI(-1.0, 0.5, 5).excludes_zero()
+    assert not CI(0.1, 0.5, 5).excludes_zero()
+
+
+def test_ci_str():
+    text = str(CI(0.5, 0.1, 4))
+    assert "0.5" in text and "n=4" in text
+
+
+def quick(scheme):
+    return Scenario(
+        scheme=scheme, offered_load=8.0, duration=600.0, warmup=100.0,
+        mean_holding=60.0, seed=5,
+    )
+
+
+def test_summarize_over_replications():
+    reps = run_replications(quick("fixed"), 3)
+    stats = summarize(reps, ["drop_rate", "offered"])
+    assert set(stats) == {"drop_rate", "offered"}
+    assert stats["drop_rate"].n == 3
+    assert 0 <= stats["drop_rate"].mean <= 1
+
+
+def test_compare_paired_by_seed():
+    fixed = run_replications(quick("fixed"), 3)
+    adaptive = run_replications(quick("adaptive"), 3)
+    diff = compare(fixed, adaptive, "drop_rate")
+    assert diff.n == 3
+    # Adaptive should not be worse at this load; the sign of the mean
+    # difference (fixed - adaptive) is non-negative.
+    assert diff.mean >= -0.01
+
+
+def test_compare_unpaired_rejected():
+    fixed = run_replications(quick("fixed"), 2)
+    adaptive = run_replications(quick("adaptive").with_(seed=99), 2)
+    with pytest.raises(ValueError, match="paired"):
+        compare(fixed, adaptive, "drop_rate")
+    with pytest.raises(ValueError, match="length"):
+        compare(fixed[:1], adaptive, "drop_rate")

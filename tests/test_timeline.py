@@ -1,0 +1,78 @@
+"""Tests for the mode-occupancy sampler."""
+
+import pytest
+
+from repro.harness import ModeSampler, Scenario, build_simulation
+from repro.traffic import TemporalHotspot
+
+
+def test_sampler_validation():
+    sim = build_simulation(Scenario(duration=200.0, warmup=50.0))
+    with pytest.raises(ValueError):
+        ModeSampler(sim.env, sim.stations, interval=0)
+
+
+def test_sampler_counts_and_glyphs():
+    scenario = Scenario(
+        scheme="adaptive",
+        offered_load=2.0,
+        duration=400.0,
+        warmup=50.0,
+        mean_holding=60.0,
+        seed=21,
+    )
+    sim = build_simulation(scenario)
+    sampler = ModeSampler(sim.env, sim.stations, interval=40.0)
+    sim.run()
+    assert len(sampler.times) == 10  # 0, 40, ..., 360
+    assert all(len(v) == 10 for v in sampler.samples.values())
+    text = sampler.timeline(cells=[0, 1])
+    assert text.count("\n") == 2
+    assert "." in text
+
+
+def test_borrowing_fraction_tracks_hotspot():
+    pattern = TemporalHotspot(
+        base_rate=1.0 / 60.0 / 10,  # near idle baseline
+        hot_cells=[24],
+        hot_rate=18.0 / 60.0,
+        start=100.0,
+        end=500.0,
+    )
+    scenario = Scenario(
+        scheme="adaptive",
+        pattern=pattern,
+        mean_holding=60.0,
+        duration=700.0,
+        warmup=0.0,
+        seed=23,
+    )
+    sim = build_simulation(scenario)
+    sampler = ModeSampler(sim.env, sim.stations, interval=20.0)
+    sim.run()
+    hot = sampler.borrowing_fraction(24)
+    quiet = sampler.borrowing_fraction(0)
+    assert hot > 0.3
+    assert quiet < 0.1
+    series = sampler.system_borrowing_series()
+    assert max(series) > 0.05
+    assert series[0] == 0.0  # idle at start
+
+
+def test_sampler_on_modeless_scheme():
+    scenario = Scenario(
+        scheme="fixed", offered_load=3.0, duration=200.0, warmup=50.0,
+        mean_holding=60.0,
+    )
+    sim = build_simulation(scenario)
+    sampler = ModeSampler(sim.env, sim.stations, interval=50.0)
+    sim.run()
+    assert all(
+        sampler.borrowing_fraction(c) == 0.0 for c in sim.stations
+    )
+
+
+def test_empty_timeline_renders():
+    sim = build_simulation(Scenario(duration=200.0, warmup=50.0))
+    sampler = ModeSampler(sim.env, sim.stations, interval=40.0, horizon=0.0)
+    assert "no samples" in sampler.timeline()

@@ -1,0 +1,57 @@
+"""Tests for repository tooling (API doc generation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+
+def test_generate_covers_all_subpackages():
+    from gen_api_docs import SUBPACKAGES, generate
+
+    text = generate()
+    for module in SUBPACKAGES:
+        assert f"## `{module}`" in text
+    # Key public symbols appear.
+    for symbol in ("AdaptiveMSS", "Scenario", "erlang_b", "HexGrid"):
+        assert symbol in text
+
+
+def test_first_paragraph_extraction():
+    from gen_api_docs import first_paragraph
+
+    assert first_paragraph(None) == "*(undocumented)*"
+    assert first_paragraph("One line.") == "One line."
+    doc = """Summary line
+    continues here.
+
+    Body that must not appear.
+    """
+    out = first_paragraph(doc)
+    assert "continues here" in out
+    assert "Body" not in out
+
+
+def test_generated_file_is_current():
+    """docs/API.md must match the code (regenerate when it drifts)."""
+    from gen_api_docs import generate
+
+    on_disk = (ROOT / "docs" / "API.md").read_text()
+    assert on_disk == generate(), (
+        "docs/API.md is stale — run `python tools/gen_api_docs.py`"
+    )
+
+
+def test_cli_entry_point_runs(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0
+    assert "wrote" in result.stdout

@@ -1,0 +1,106 @@
+"""Property-based protocol-conformance tests.
+
+Hypothesis drives random workloads through the full stack and then
+audits the complete message trace: every request answered exactly once,
+every search response acknowledged, every CHANGE_MODE answered, plus
+the quiescence invariants.  This is the strongest correctness net in
+the suite — it exercises the interleavings unit tests cannot enumerate.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mode
+from repro.harness import Scenario, build_simulation
+from repro.protocols import TraceRecorder
+
+
+def run_drained(scenario):
+    sim = build_simulation(scenario)
+    recorder = TraceRecorder(sim.network)
+    sim.source.start()
+    sim.env.run(until=scenario.duration)
+    sim.source.horizon = 0
+    sim.env.run()  # drain calls and in-flight rounds
+    return sim, recorder
+
+
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    load=st.floats(1.0, 13.0),
+    seed=st.integers(0, 10_000),
+    alpha=st.integers(0, 4),
+    spread=st.sampled_from([0.0, 1.0]),
+)
+def test_adaptive_trace_always_conformant(load, seed, alpha, spread):
+    scenario = Scenario(
+        scheme="adaptive",
+        offered_load=load,
+        mean_holding=50.0,
+        duration=350.0,
+        warmup=50.0,
+        seed=seed,
+        alpha=alpha,
+        latency_model="uniform" if spread else "deterministic",
+        latency_spread=spread,
+    )
+    sim, recorder = run_drained(scenario)
+    recorder.check_all()
+    assert sim.monitor.violations == []
+    assert sim.monitor.in_use == 0
+    for s in sim.stations.values():
+        assert s.waiting == 0
+        assert not s.DeferQ
+        assert s.mode in (Mode.LOCAL, Mode.BORROW_IDLE)
+
+
+@settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    scheme=st.sampled_from(["basic_search", "basic_update"]),
+    load=st.floats(1.0, 12.0),
+    seed=st.integers(0, 10_000),
+)
+def test_baseline_requests_always_answered(scheme, load, seed):
+    scenario = Scenario(
+        scheme=scheme,
+        offered_load=load,
+        mean_holding=50.0,
+        duration=350.0,
+        warmup=50.0,
+        seed=seed,
+    )
+    sim, recorder = run_drained(scenario)
+    recorder.check_requests_answered()
+    assert sim.monitor.violations == []
+    assert sim.monitor.in_use == 0
+
+
+@settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    load=st.floats(2.0, 12.0),
+    seed=st.integers(0, 10_000),
+    dwell=st.sampled_from([None, 60.0]),
+)
+def test_adaptive_trace_conformant_with_mobility_and_repack(load, seed, dwell):
+    scenario = Scenario(
+        scheme="adaptive",
+        offered_load=load,
+        mean_holding=50.0,
+        mean_dwell=dwell,
+        duration=350.0,
+        warmup=50.0,
+        seed=seed,
+        extra_params={"repack": True},
+    )
+    sim, recorder = run_drained(scenario)
+    recorder.check_all()
+    assert sim.monitor.violations == []
+    assert sim.monitor.in_use == 0
+    for s in sim.stations.values():
+        assert not s._alias  # every reassignment alias resolved
