@@ -10,7 +10,7 @@ wins, by roughly what factor — rather than exact numbers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable
 
 from repro.harness import Report, Scenario, render_table, run_scenario
 

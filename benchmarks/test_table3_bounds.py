@@ -15,7 +15,6 @@ Finite bounds must hold for every observation; infinite bounds are
 reported as the growth observed at the top of the sweep.
 """
 
-import numpy as np
 
 from repro.analysis import bounds_table
 

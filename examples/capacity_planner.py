@@ -11,7 +11,7 @@ shows what the adaptive scheme achieves with *no* prior knowledge.
 Run:  python examples/capacity_planner.py
 """
 
-from repro.analysis import erlang_b, expected_blocked_traffic, plan_partition
+from repro.analysis import expected_blocked_traffic, plan_partition
 from repro.cellular import CellularTopology
 from repro.harness import Scenario, render_table, run_scenario
 from repro.traffic import PiecewiseLoad

@@ -10,7 +10,6 @@ cells have smaller interference regions too.
 Run:  python examples/waypoint_mobility.py
 """
 
-import numpy as np
 
 from repro.cellular import CellularTopology
 from repro.harness import render_table

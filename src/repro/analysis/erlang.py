@@ -10,8 +10,6 @@ the analytical reference line in the load-sweep benchmark).
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List
 
 __all__ = ["erlang_b", "erlang_b_inverse_load", "offered_load_for_blocking"]
 

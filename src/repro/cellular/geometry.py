@@ -11,7 +11,7 @@ crosses a cell boundary rather than at exponential timer ticks.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import Tuple
 
 from .hexgrid import Hex, HexGrid
 

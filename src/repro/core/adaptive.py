@@ -59,7 +59,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Deque, Dict, Optional, Set, Tuple
 
 from ..protocols.base import MSS
 from ..protocols.messages import (
@@ -320,6 +320,10 @@ class AdaptiveMSS(MSS):
                 owed < ts for owed in self._owed_acks.values()
             ):
                 self.pending = True
+                for searcher, owed_ts in self._owed_acks.items():
+                    self.env.emit(
+                        "wait.block", (self.cell, searcher, "gate", owed_ts)
+                    )
                 while self.waiting > 0:
                     yield self._gate.wait()
                 self.pending = False
@@ -430,6 +434,7 @@ class AdaptiveMSS(MSS):
         round_id = self._next_round()
         self._collector = Collector(self.env, self.IN)
         self._collector_round = round_id
+        self.env.emit("search.begin", (self.cell, ts))
         self._broadcast(
             Request(ReqType.SEARCH, NO_CHANNEL, ts, self.cell, round_id)
         )
@@ -467,6 +472,9 @@ class AdaptiveMSS(MSS):
             # their ``waiting`` counters are decremented (Fig. 3 case 3).
             wire_channel = channel if channel is not None else NO_CHANNEL
             self._broadcast(Acquisition(AcqType.SEARCH, self.cell, wire_channel))
+            # The ACQUISITION broadcast is now in flight: from here on,
+            # nobody is *blocked* on this search any more.
+            self.env.emit("search.end", self.cell)
             self.mode = Mode.BORROW_IDLE
 
         self._drain_deferq()
@@ -477,6 +485,7 @@ class AdaptiveMSS(MSS):
         """Answer every deferred request (tail of Fig. 3)."""
         while self.DeferQ:
             req_type, q, _ts, j, rid = self.DeferQ.popleft()
+            self.env.emit("wait.unblock", (j, self.cell))
             if req_type is ReqType.UPDATE:
                 if q in self.use:
                     self._send(j, Response(ResType.REJECT, self.cell, q, rid))
@@ -594,6 +603,7 @@ class AdaptiveMSS(MSS):
             self._handle_search_request(msg)
 
     def _handle_update_request(self, msg: Request) -> None:
+        self.env.emit("proto.request", (self.cell, msg.sender, msg.round_id))
         r, sender, rid = msg.channel, msg.sender, msg.round_id
         if self.mode in (Mode.LOCAL, Mode.BORROW_IDLE):
             if r in self.use:
@@ -610,6 +620,7 @@ class AdaptiveMSS(MSS):
             if self._req_ts < msg.ts:
                 # Our search is older: defer them until we acquired.
                 self.DeferQ.append((ReqType.UPDATE, r, msg.ts, sender, rid))
+                self.env.emit("wait.block", (sender, self.cell, "defer", msg.ts))
             elif r in self.use:  # deviation D4: safety check
                 self._send(sender, Response(ResType.REJECT, self.cell, r, rid))
             else:
@@ -621,6 +632,7 @@ class AdaptiveMSS(MSS):
         self._check_mode()
 
     def _handle_search_request(self, msg: Request) -> None:
+        self.env.emit("proto.request", (self.cell, msg.sender, msg.round_id))
         sender, rid = msg.sender, msg.round_id
         # Defer a *younger* search while we have an older claim of our
         # own in flight — ANY in-flight request, regardless of mode.
@@ -641,6 +653,7 @@ class AdaptiveMSS(MSS):
             self.DeferQ.append(
                 (ReqType.SEARCH, msg.channel, msg.ts, sender, rid)
             )
+            self.env.emit("wait.block", (sender, self.cell, "defer", msg.ts))
         else:
             self._respond_search(sender, msg.ts, rid)
 
@@ -651,6 +664,10 @@ class AdaptiveMSS(MSS):
                 f"before its ACQUISITION"
             )
         self._owed_acks[sender] = ts
+        if self.pending:
+            # Our own request is parked on the gate; this new owed ack
+            # extends the park, so it is a live wait-for edge.
+            self.env.emit("wait.block", (self.cell, sender, "gate", ts))
         self._send(
             sender, Response(ResType.SEARCH, self.cell, frozenset(self.use), rid)
         )
@@ -684,6 +701,7 @@ class AdaptiveMSS(MSS):
             self.stale_responses += 1
 
     def _on_ChangeMode(self, msg: ChangeMode) -> None:
+        self.env.emit("proto.request", (self.cell, msg.sender, msg.round_id))
         if msg.mode == 0:
             self.UpdateS.discard(msg.sender)
         else:
@@ -706,6 +724,7 @@ class AdaptiveMSS(MSS):
                     f"without an owed response"
                 )
             del self._owed_acks[msg.sender]
+            self.env.emit("wait.unblock", (self.cell, msg.sender))
             if not self._owed_acks:
                 self._gate.pulse()
 

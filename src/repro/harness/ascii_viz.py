@@ -6,7 +6,7 @@ no plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 __all__ = ["sparkline", "bar_chart", "hex_heatmap"]
 

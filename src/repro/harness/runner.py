@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Type
 
-import numpy as np
-
 from ..cellular import CellularTopology
 from ..core import AdaptiveMSS
 from ..metrics import MetricsCollector
@@ -33,6 +31,7 @@ from ..sim import (
     UniformLatency,
 )
 from ..traffic import CallConfig, TrafficSource
+from ..verify import SanitizerSuite, get_default_policy
 from .config import Scenario
 
 __all__ = ["SCHEMES", "Simulation", "Report", "build_simulation", "run_scenario", "run_replications"]
@@ -61,6 +60,9 @@ class Simulation:
     monitor: InterferenceMonitor
     source: TrafficSource
     streams: StreamRegistry
+    #: Runtime sanitizers (attached when a default policy is active,
+    #: e.g. under pytest; None otherwise).
+    sanitizers: Optional[SanitizerSuite] = None
 
     def run(self) -> "Report":
         """Run to the scenario horizon and build the report."""
@@ -221,6 +223,12 @@ def build_simulation(scenario: Scenario) -> Simulation:
     network = Network(env, _make_latency(scenario, streams), fifo=scenario.fifo)
     metrics = MetricsCollector(warmup=scenario.warmup)
     monitor = InterferenceMonitor(topo, policy=scenario.monitor_policy)
+    sanitizer_policy = get_default_policy()
+    sanitizers = (
+        SanitizerSuite(env, network, policy=sanitizer_policy)
+        if sanitizer_policy is not None
+        else None
+    )
 
     cls = SCHEMES[scenario.scheme]
     kwargs: Dict[str, Any] = dict(scenario.extra_params)
@@ -262,6 +270,7 @@ def build_simulation(scenario: Scenario) -> Simulation:
         monitor=monitor,
         source=source,
         streams=streams,
+        sanitizers=sanitizers,
     )
 
 

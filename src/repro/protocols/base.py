@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import inspect
 from collections import deque
-from typing import Any, Deque, Dict, FrozenSet, Optional, Set
+from typing import Any, Dict, FrozenSet, Optional, Set
 
 from ..cellular import CellularTopology
 from ..sim import Environment, Envelope, Network, Resource
@@ -92,7 +92,9 @@ class MSS:
     # ------------------------------------------------------------------
     # Public call-level API (used by the traffic layer)
     # ------------------------------------------------------------------
-    def request_channel(self, kind: str = "new", setup_deadline: float = None):
+    def request_channel(
+        self, kind: str = "new", setup_deadline: Optional[float] = None
+    ):
         """Acquire a channel; generator returning the channel id or None.
 
         ``kind`` labels the request for metrics ("new" or "handoff").
@@ -103,6 +105,14 @@ class MSS:
         earlier requests), the call abandons — blocked-calls-cleared
         semantics, which keeps offered load well defined at overload.
         """
+        self.env.emit("request.begin", self.cell)
+        try:
+            channel = yield from self._request_channel(kind, setup_deadline)
+        finally:
+            self.env.emit("request.end", self.cell)
+        return channel
+
+    def _request_channel(self, kind: str, setup_deadline: Optional[float]):
         t_arrival = self.env.now
         #: Kind of the request being served ("new"/"handoff"), readable
         #: by protocols implementing admission policies (guard channels).
@@ -206,12 +216,14 @@ class MSS:
     def _grab(self, channel: int) -> None:
         """Add a channel to Use and notify the interference monitor."""
         self.use.add(channel)
+        self.env.emit("channel.acquired", (self.cell, channel))
         if self.monitor is not None:
             self.monitor.acquired(self.cell, channel, self.env.now)
 
     def _drop_from_use(self, channel: int) -> None:
         """Remove a channel from Use and notify the monitor."""
         self.use.discard(channel)
+        self.env.emit("channel.released", (self.cell, channel))
         if self.monitor is not None:
             self.monitor.released(self.cell, channel, self.env.now)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple, Union
+from typing import FrozenSet, Tuple, Union
 
 __all__ = [
     "Timestamp",

@@ -15,8 +15,8 @@ windows (e.g. of the advanced-update baseline the paper criticises).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
 from ..cellular import CellularTopology
 

@@ -9,11 +9,14 @@ reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
-from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Process, Timeout
+from .events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
 
-__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+__all__ = ["Environment", "EmptySchedule", "StopSimulation", "ProbeCallback"]
+
+#: A probe callback: called as ``callback(now, payload)``.
+ProbeCallback = Callable[[float, Any], None]
 
 
 class EmptySchedule(Exception):
@@ -38,6 +41,37 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Probe subscribers by event kind (see :meth:`subscribe`).
+        self._probes: Dict[str, List[ProbeCallback]] = {}
+
+    # -- probes (observation hooks) ---------------------------------------
+    #
+    # Components of the simulation announce notable occurrences through
+    # ``emit(kind, payload)``; observers (sanitizers, tracers) register
+    # with ``subscribe(kind, callback)``.  An emit with no subscriber is
+    # a single dict lookup, so instrumented code paths stay cheap when
+    # nothing is listening.  Probes are observation-only: callbacks must
+    # not mutate simulation state or schedule events.
+    def subscribe(self, kind: str, callback: ProbeCallback) -> None:
+        """Register ``callback`` for probe events of ``kind``."""
+        self._probes.setdefault(kind, []).append(callback)
+
+    def unsubscribe(self, kind: str, callback: ProbeCallback) -> None:
+        """Remove a previously registered probe callback."""
+        callbacks = self._probes.get(kind)
+        if callbacks is None or callback not in callbacks:
+            raise ValueError(f"callback not subscribed to {kind!r}")
+        callbacks.remove(callback)
+        if not callbacks:
+            del self._probes[kind]
+
+    def emit(self, kind: str, payload: Any = None) -> None:
+        """Deliver a probe event to every subscriber of ``kind``."""
+        callbacks = self._probes.get(kind)
+        if callbacks:
+            now = self._now
+            for callback in tuple(callbacks):
+                callback(now, payload)
 
     # -- clock & introspection --------------------------------------------
     @property
@@ -72,11 +106,11 @@ class Environment:
         """Start a new process driving ``generator``."""
         return Process(self, generator, name=name)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all of ``events`` have fired."""
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
 

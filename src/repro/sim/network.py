@@ -10,8 +10,9 @@ used by the metrics layer to count control messages by type.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, KeysView, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -103,7 +104,11 @@ class ExponentialLatency(LatencyModel):
     """Shifted exponential latency: base + Exp(mean_extra)."""
 
     def __init__(
-        self, base: float, mean_extra: float, rng: np.random.Generator, cap: float = None
+        self,
+        base: float,
+        mean_extra: float,
+        rng: np.random.Generator,
+        cap: Optional[float] = None,
     ) -> None:
         if base <= 0 or mean_extra < 0:
             raise ValueError("need base > 0 and mean_extra >= 0")
@@ -148,7 +153,7 @@ class Network:
         self.latency = latency or DeterministicLatency(1.0)
         self.fifo = fifo
         self._nodes: Dict[int, NetworkNode] = {}
-        self._last_delivery: Dict[tuple, float] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
         self._seq = 0
         #: Total messages sent, by payload type name.
         self.sent_by_kind: Dict[str, int] = {}
@@ -170,11 +175,17 @@ class Network:
         return self._nodes[node_id]
 
     @property
-    def node_ids(self):
+    def node_ids(self) -> KeysView[int]:
         return self._nodes.keys()
 
     # -- messaging -----------------------------------------------------------
-    def send(self, src: int, dst: int, payload: Any, delay_override: float = None) -> Envelope:
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        delay_override: Optional[float] = None,
+    ) -> Envelope:
         """Send ``payload`` from ``src`` to ``dst``; returns the envelope.
 
         ``delay_override`` forces a specific latency for this message
@@ -193,6 +204,14 @@ class Network:
             link = (src, dst)
             floor = self._last_delivery.get(link, 0.0)
             deliver_at = max(deliver_at, floor)
+            # The scheduler computes ``now + (deliver_at - now)``, which
+            # can undershoot the clamped floor by one ulp and let this
+            # message overtake its predecessor on the link; nudge until
+            # the *scheduled* time respects the floor.  (Equal times are
+            # fine: the event queue breaks ties in send order.)
+            while now + (deliver_at - now) < floor:
+                deliver_at = math.nextafter(deliver_at, math.inf)
+            deliver_at = now + (deliver_at - now)
             self._last_delivery[link] = deliver_at
 
         self._seq += 1
@@ -209,13 +228,14 @@ class Network:
         self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
         for hook in self.on_send:
             hook(env_msg)
+        self.env.emit("net.send", env_msg)
 
         delivery = self.env.timeout(deliver_at - now, env_msg)
         assert delivery.callbacks is not None
         delivery.callbacks.append(self._deliver)
         return env_msg
 
-    def multicast(self, src: int, dsts, payload: Any) -> int:
+    def multicast(self, src: int, dsts: Iterable[int], payload: Any) -> int:
         """Send ``payload`` to each destination; returns message count."""
         count = 0
         for dst in dsts:
@@ -223,8 +243,9 @@ class Network:
             count += 1
         return count
 
-    def _deliver(self, event) -> None:
+    def _deliver(self, event: Any) -> None:
         env_msg: Envelope = event.value
         for hook in self.on_deliver:
             hook(env_msg)
+        self.env.emit("net.deliver", env_msg)
         self._nodes[env_msg.dst].on_message(env_msg)

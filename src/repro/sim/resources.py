@@ -17,7 +17,7 @@ paper's blocking pseudocode (``wait UNTIL ...``):
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, Iterable, List
 
 from .engine import Environment
 from .events import Event
@@ -168,7 +168,7 @@ class Collector:
     {tag: value}.
     """
 
-    def __init__(self, env: Environment, expected) -> None:
+    def __init__(self, env: Environment, expected: Iterable[Any]) -> None:
         self.env = env
         self._expected = set(expected)
         self._responses: Dict[Any, Any] = {}

@@ -9,7 +9,7 @@ are bit-for-bit reproducible.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -30,10 +30,10 @@ class StreamRegistry:
         self.seed = int(seed)
         self._cache: Dict[str, np.random.Generator] = {}
 
-    def _key(self, parts) -> str:
+    def _key(self, parts: Tuple[Any, ...]) -> str:
         return "/".join(str(p) for p in parts)
 
-    def stream(self, *parts) -> np.random.Generator:
+    def stream(self, *parts: Any) -> np.random.Generator:
         """Return (and memoize) the generator for the given name parts."""
         key = self._key(parts)
         if key not in self._cache:

@@ -19,7 +19,7 @@ offered load A = λ · mean_holding_time, so λ = A / holding.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable
 
 __all__ = [
     "LoadPattern",

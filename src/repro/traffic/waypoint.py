@@ -14,7 +14,7 @@ Used with a *planar* grid (torus wrap has no continuous embedding).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -1,0 +1,70 @@
+"""Runtime sanitizers — pluggable correctness oracles for the simulator.
+
+The paper's correctness claims are theorems; this subpackage turns them
+into executable checks that observe a live simulation through the
+engine's probe bus (:meth:`repro.sim.Environment.subscribe`):
+
+* :class:`DeadlockDetector` — Theorem 2's oracle: maintains the
+  wait-for graph of the mode-2/mode-3 handshake incrementally and
+  flags any cycle.
+* :class:`CausalityChecker` — hardens the FIFO-link assumption: per
+  (src, dst) link, messages must deliver in send order, and no node
+  may send a RESPONSE for a round whose REQUEST/CHANGE_MODE it has not
+  yet received.
+* :class:`QuiescenceChecker` — end-of-run hygiene: every acquired
+  channel released, every channel request resolved.
+
+All sanitizers share the :class:`InterferenceMonitor` policy API:
+``policy="raise"`` fails loudly on the first violation (tests),
+``policy="record"`` accumulates violations for inspection.
+
+:class:`SanitizerSuite` bundles the three and attaches them to a
+simulation in one call; the pytest ``conftest`` enables it globally
+via :func:`set_default_policy`.
+"""
+
+from .base import Sanitizer, Violation
+from .causality import CausalityChecker, CausalityViolation
+from .deadlock import DeadlockDetector, DeadlockViolation
+from .quiescence import QuiescenceChecker, QuiescenceViolation
+from .suite import SanitizerSuite
+
+__all__ = [
+    "Sanitizer",
+    "Violation",
+    "DeadlockDetector",
+    "DeadlockViolation",
+    "CausalityChecker",
+    "CausalityViolation",
+    "QuiescenceChecker",
+    "QuiescenceViolation",
+    "SanitizerSuite",
+    "set_default_policy",
+    "get_default_policy",
+]
+
+#: Module-level default policy: when not ``None``, the harness attaches
+#: a :class:`SanitizerSuite` with this policy to every simulation it
+#: builds.  The test suite sets it to ``"raise"`` in ``conftest.py``.
+_DEFAULT_POLICY = None
+
+
+def set_default_policy(policy):
+    """Set the process-wide default sanitizer policy.
+
+    ``None`` disables automatic attachment; ``"raise"`` / ``"record"``
+    make :func:`repro.harness.build_simulation` attach a
+    :class:`SanitizerSuite` with that policy to every new simulation.
+    Returns the previous value (for save/restore in fixtures).
+    """
+    global _DEFAULT_POLICY
+    if policy not in (None, "raise", "record"):
+        raise ValueError(f"unknown policy {policy!r}")
+    previous = _DEFAULT_POLICY
+    _DEFAULT_POLICY = policy
+    return previous
+
+
+def get_default_policy():
+    """Return the current process-wide default sanitizer policy."""
+    return _DEFAULT_POLICY

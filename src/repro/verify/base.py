@@ -1,0 +1,82 @@
+"""Common sanitizer machinery: violations, policies, probe plumbing.
+
+Every sanitizer observes the simulation through the engine's probe bus
+and never mutates simulation state; the only side effect it may have is
+raising an :class:`AssertionError` under the ``"raise"`` policy — the
+same contract as :class:`repro.protocols.InterferenceMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim import Environment
+from ..sim.engine import ProbeCallback
+
+__all__ = ["Violation", "Sanitizer"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Base class for one observed invariant violation."""
+
+    time: float
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        return f"t={self.time}: {type(self).__name__}"
+
+
+class Sanitizer:
+    """Base class: policy handling and probe subscription bookkeeping.
+
+    Parameters
+    ----------
+    env:
+        The environment whose probe bus to observe.
+    policy:
+        ``"raise"`` — raise ``AssertionError`` on a violation (tests);
+        ``"record"`` — append to :attr:`violations` and continue.
+    """
+
+    #: Short name used in reports (subclasses override).
+    name = "sanitizer"
+
+    def __init__(self, env: Environment, policy: str = "raise") -> None:
+        if policy not in ("raise", "record"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.env = env
+        self.policy = policy
+        self.violations: List[Violation] = []
+        self._subscriptions: List[Tuple[str, ProbeCallback]] = []
+        self._attach()
+
+    # -- wiring ------------------------------------------------------------
+    def _attach(self) -> None:
+        """Subscribe to probe kinds (subclasses use :meth:`_listen`)."""
+
+    def _listen(self, kind: str, callback: ProbeCallback) -> None:
+        """Subscribe and remember it so :meth:`detach` can undo it."""
+        self.env.subscribe(kind, callback)
+        self._subscriptions.append((kind, callback))
+
+    def detach(self) -> None:
+        """Unsubscribe from every probe kind (sanitizer goes inert)."""
+        for kind, callback in self._subscriptions:
+            self.env.unsubscribe(kind, callback)
+        self._subscriptions.clear()
+
+    # -- verdicts ----------------------------------------------------------
+    def _report(self, violation: Violation) -> None:
+        """Apply the policy to a freshly detected violation."""
+        if self.policy == "raise":
+            raise AssertionError(str(violation))
+        self.violations.append(violation)
+
+    def assert_clean(self) -> None:
+        """Raise if any violation was recorded (for record-mode tests)."""
+        if self.violations:
+            raise AssertionError(
+                f"{self.name}: {len(self.violations)} violations recorded; "
+                f"first: {self.violations[0]}"
+            )

@@ -1,0 +1,149 @@
+"""Message-causality and FIFO-delivery checker.
+
+The adaptive protocol's waiting/ACQUISITION handshake silently assumes
+per-link FIFO delivery (``tests/test_fifo_assumption.py`` shows what
+breaks without it), and every request/response round assumes a node
+never answers a round it has not heard about.  This sanitizer asserts
+both properties on the live message stream:
+
+* **FIFO** — for each ``(src, dst)`` link, envelopes must be delivered
+  in send order (send sequence numbers are globally increasing, so
+  per-link delivery order must be too).  Checked only when the network
+  is configured FIFO — a ``fifo=False`` network is *allowed* to
+  reorder, that is the experiment.
+* **No reply-before-request** — a reply for round ``R`` sent by node
+  ``j`` to node ``i`` must be causally preceded by ``j`` *processing*
+  ``i``'s REQUEST or CHANGE_MODE carrying round ``R`` (the protocols
+  announce this on the ``proto.request`` probe from their handlers, so
+  white-box tests that inject messages straight into handlers are
+  covered too).  Each responder answers a round at most once; a second
+  reply is flagged as well.
+* **No time travel** — an envelope's delivery time is never before its
+  send time.
+
+State grows with the number of open rounds; rounds are forgotten as
+soon as the (single) response of each responder is observed, keeping
+the per-node footprint proportional to in-flight traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from ..protocols.messages import Response
+from ..protocols.prakash import PollResponse, TransferReply
+from ..sim import Envelope
+from .base import Sanitizer, Violation
+
+__all__ = ["CausalityViolation", "CausalityChecker"]
+
+#: Payload types that answer a previously processed round.  Requests
+#: (Request, ChangeMode, Prakash's Transfer) also carry round ids, so
+#: replies are matched by type, not by attribute sniffing.
+REPLY_TYPES = (Response, PollResponse, TransferReply)
+
+
+@dataclass(frozen=True)
+class CausalityViolation(Violation):
+    """One causality breach on the message fabric."""
+
+    kind: str  # "fifo" | "reply_before_request" | "time_travel"
+    src: int
+    dst: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.time}: {self.kind} violation on link "
+            f"{self.src}->{self.dst}: {self.detail}"
+        )
+
+
+class CausalityChecker(Sanitizer):
+    """Asserts per-link FIFO delivery and request/response causality.
+
+    Parameters
+    ----------
+    env:
+        Environment to observe.
+    policy:
+        ``"raise"`` or ``"record"`` (see :class:`Sanitizer`).
+    check_fifo:
+        Enable the per-link ordering check.  Pass the network's
+        ``fifo`` flag: over a deliberately reordering network the
+        protocol's own runtime assertions are the oracle, not this.
+    """
+
+    name = "causality"
+
+    def __init__(self, env, policy: str = "raise", check_fifo: bool = True) -> None:
+        self.check_fifo = check_fifo
+        #: (src, dst) -> highest send-sequence number delivered so far.
+        self._delivered_seq: Dict[Tuple[int, int], int] = {}
+        #: responder -> set of (requester, round_id) whose request the
+        #: responder has processed and not yet answered.
+        self._open_rounds: Dict[int, Set[Tuple[int, int]]] = {}
+        self.messages_checked = 0
+        super().__init__(env, policy)
+
+    def _attach(self) -> None:
+        self._listen("net.send", self._on_send)
+        self._listen("net.deliver", self._on_deliver)
+        self._listen("proto.request", self._on_request_seen)
+
+    # -- probe handlers ----------------------------------------------------
+    def _on_send(self, now: float, envelope: Envelope) -> None:
+        if envelope.deliver_at < envelope.sent_at:
+            self._report(
+                CausalityViolation(
+                    now,
+                    "time_travel",
+                    envelope.src,
+                    envelope.dst,
+                    f"{envelope.kind} #{envelope.seq} delivers at "
+                    f"{envelope.deliver_at} < sent at {envelope.sent_at}",
+                )
+            )
+        payload = envelope.payload
+        if isinstance(payload, REPLY_TYPES):
+            key = (envelope.dst, payload.round_id)
+            open_rounds = self._open_rounds.get(envelope.src)
+            if open_rounds is None or key not in open_rounds:
+                self._report(
+                    CausalityViolation(
+                        now,
+                        "reply_before_request",
+                        envelope.src,
+                        envelope.dst,
+                        f"{type(payload).__name__} for round "
+                        f"{payload.round_id} without a processed request",
+                    )
+                )
+            else:
+                open_rounds.discard(key)
+
+    def _on_deliver(self, now: float, envelope: Envelope) -> None:
+        self.messages_checked += 1
+        if self.check_fifo:
+            link = (envelope.src, envelope.dst)
+            last = self._delivered_seq.get(link, 0)
+            if envelope.seq < last:
+                self._report(
+                    CausalityViolation(
+                        now,
+                        "fifo",
+                        envelope.src,
+                        envelope.dst,
+                        f"{envelope.kind} #{envelope.seq} delivered after "
+                        f"#{last} (send order overtaken)",
+                    )
+                )
+            else:
+                self._delivered_seq[link] = envelope.seq
+
+    def _on_request_seen(self, now: float, payload) -> None:
+        responder, requester, round_id = payload
+        self._open_rounds.setdefault(responder, set()).add(
+            (requester, round_id)
+        )

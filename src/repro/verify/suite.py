@@ -1,0 +1,77 @@
+"""Bundle of all runtime sanitizers, attached in one call.
+
+``SanitizerSuite(env, network)`` wires a :class:`DeadlockDetector`, a
+:class:`CausalityChecker` and a :class:`QuiescenceChecker` to the
+environment's probe bus.  The harness attaches one automatically when
+:func:`repro.verify.set_default_policy` is active (the pytest suite
+turns it on globally), so every scenario run is sanitized without any
+per-test plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Environment, Network
+from .base import Sanitizer, Violation
+from .causality import CausalityChecker
+from .deadlock import DeadlockDetector
+from .quiescence import QuiescenceChecker
+
+__all__ = ["SanitizerSuite"]
+
+
+class SanitizerSuite:
+    """All three sanitizers behind one attach/detach/assert interface.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment to observe.
+    network:
+        The message fabric (optional).  Only used to decide whether the
+        FIFO-ordering check applies: a ``fifo=False`` network reorders
+        by design, so only the causal (reply-before-request) checks
+        remain active there.
+    policy:
+        ``"raise"`` or ``"record"``, applied to every sanitizer.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Optional[Network] = None,
+        policy: str = "raise",
+    ) -> None:
+        self.env = env
+        self.policy = policy
+        check_fifo = network.fifo if network is not None else True
+        self.deadlock = DeadlockDetector(env, policy=policy)
+        self.causality = CausalityChecker(env, policy=policy, check_fifo=check_fifo)
+        self.quiescence = QuiescenceChecker(env, policy=policy)
+
+    @property
+    def sanitizers(self) -> List[Sanitizer]:
+        return [self.deadlock, self.causality, self.quiescence]
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All recorded violations, in sanitizer order."""
+        found: List[Violation] = []
+        for sanitizer in self.sanitizers:
+            found.extend(sanitizer.violations)
+        return found
+
+    def finalize(self) -> None:
+        """Run end-of-run checks.  Call only after traffic has drained."""
+        self.quiescence.finalize()
+
+    def assert_clean(self) -> None:
+        """Raise if any sanitizer recorded a violation."""
+        for sanitizer in self.sanitizers:
+            sanitizer.assert_clean()
+
+    def detach(self) -> None:
+        """Unsubscribe every sanitizer (the suite goes inert)."""
+        for sanitizer in self.sanitizers:
+            sanitizer.detach()

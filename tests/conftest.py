@@ -6,14 +6,28 @@ deterministically; ``drive``/``drive_all`` run request generators to
 completion inside the event loop.
 """
 
-from typing import Dict, Tuple
-
 import pytest
 
 from repro.cellular import CellularTopology
 from repro.metrics import MetricsCollector
 from repro.protocols import InterferenceMonitor
 from repro.sim import DeterministicLatency, Environment, Network
+from repro.verify import SanitizerSuite, set_default_policy
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _enable_sanitizers():
+    """Run the whole suite with runtime sanitizers in raise mode.
+
+    Every simulation built through ``repro.harness.build_simulation``
+    (and every stack built through ``make_stack``) gets a
+    :class:`SanitizerSuite` attached: the deadlock detector, the
+    causality/FIFO checker and the quiescence checker all fail loudly
+    the moment an invariant breaks anywhere in the test suite.
+    """
+    previous = set_default_policy("raise")
+    yield
+    set_default_policy(previous)
 
 
 def make_stack(
@@ -31,6 +45,9 @@ def make_stack(
     network = Network(env, DeterministicLatency(T))
     metrics = MetricsCollector()
     monitor = InterferenceMonitor(topo, policy=monitor_policy)
+    # Runtime sanitizers ride along on every test stack; they observe
+    # through the probe bus and raise on any protocol-invariant breach.
+    SanitizerSuite(env, network, policy="raise")
     stations = {}
     for cell in topo.grid:
         stations[cell] = scheme_cls(

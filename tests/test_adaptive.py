@@ -34,7 +34,6 @@ def test_local_release_is_silent_without_borrowers():
 
 def test_parameter_validation():
     env, net, topo, stations, monitor, metrics = adaptive_stack()
-    import repro.core.adaptive as mod
     with pytest.raises(ValueError):
         adaptive_stack(alpha=-1)
     with pytest.raises(ValueError):

@@ -221,6 +221,10 @@ def test_release_clears_mirror_and_grant(stack):
 def test_double_search_response_to_same_searcher_raises(stack):
     s = station(stack)
     j = neighbor_of(stack)
+    # Register the rounds with the causality sanitizer: this test calls
+    # _respond_search below the handler layer, so no request was seen.
+    s.env.emit("proto.request", (s.cell, j, 1))
+    s.env.emit("proto.request", (s.cell, j, 2))
     s._respond_search(j, (1.0, j), 1)
     with pytest.raises(AssertionError, match="second search response"):
         s._respond_search(j, (2.0, j), 2)

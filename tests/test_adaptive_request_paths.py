@@ -25,6 +25,9 @@ def test_parks_behind_older_search(monkeypatch):
     s = stations[0]
     searcher = sorted(topo.IN(0))[0]
     # We owe an ack to an OLDER search: request must park on the gate.
+    # (The emit registers round 99 with the causality sanitizer, since
+    # _respond_search is driven below the handler layer here.)
+    env.emit("proto.request", (s.cell, searcher, 99))
     s._respond_search(searcher, (0.5, searcher), 99)
     assert s.waiting == 1
 
@@ -69,6 +72,7 @@ def test_guarded_round_when_owed_ack_is_younger():
 
     def late_search():
         yield env.timeout(0.5)
+        env.emit("proto.request", (s.cell, searcher, 99))
         s._respond_search(searcher, (10.0, searcher), 99)
 
     env.process(late_search())

@@ -1,6 +1,5 @@
 """Unit tests for the advanced update baseline (primary arbitration)."""
 
-import pytest
 
 from repro.protocols import AdvancedUpdateMSS, ResType
 

@@ -1,6 +1,5 @@
 """Unit tests for the basic update scheme (Dong & Lai)."""
 
-import pytest
 
 from repro.protocols import BasicUpdateMSS
 

@@ -1,0 +1,272 @@
+"""Unit tests for the SIM static checks (``tools.check``).
+
+Each rule gets a firing fixture and a silent fixture, plus noqa
+suppression; finally the real tree must be clean.
+"""
+
+import pathlib
+import sys
+import textwrap
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+
+from tools.check import RULES, check_file, check_paths  # noqa: E402
+
+
+def write(tmp_path, relpath, source):
+    """Write ``source`` under a scope-matching relative path."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ------------------------------------------------------------------ SIM001 ----
+def test_sim001_fires_on_wall_clock(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import time
+        from datetime import datetime
+
+        def f():
+            return time.time(), datetime.now()
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM001", "SIM001"]
+
+
+def test_sim001_resolves_aliases(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        import time as clock
+        from time import monotonic as mono
+
+        def f():
+            return clock.perf_counter() + mono()
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM001", "SIM001"]
+
+
+def test_sim001_silent_outside_scope_and_on_env_now(tmp_path):
+    in_scope = write(
+        tmp_path,
+        "src/repro/protocols/x.py",
+        """
+        def f(env):
+            return env.now  # simulated time: fine
+        """,
+    )
+    out_of_scope = write(
+        tmp_path,
+        "src/repro/harness/x.py",
+        """
+        import time
+
+        def wall():
+            return time.time()  # harness timing a real run: allowed
+        """,
+    )
+    assert check_file(in_scope) == []
+    assert codes(check_file(out_of_scope)) == []
+
+
+# ------------------------------------------------------------------ SIM002 ----
+def test_sim002_fires_on_global_rng(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/traffic/x.py",
+        """
+        import random
+        import numpy as np
+
+        def f():
+            return random.random() + np.random.rand()
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM002", "SIM002"]
+
+
+def test_sim002_allows_seeded_generator_construction(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/traffic/x.py",
+        """
+        import numpy as np
+
+        def f(seed):
+            rng = np.random.default_rng(seed)
+            return rng.random()
+        """,
+    )
+    assert check_file(path) == []
+
+
+def test_sim002_exempts_rng_module(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/rng.py",
+        """
+        import numpy as np
+
+        def f(seed):
+            return np.random.SeedSequence(seed)
+        """,
+    )
+    assert check_file(path) == []
+
+
+# ------------------------------------------------------------------ SIM003 ----
+def test_sim003_fires_on_direct_use_mutation(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        class P:
+            def grab(self, ch):
+                self.use.add(ch)
+
+            def reset(self):
+                self.use = set()
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM003", "SIM003"]
+
+
+def test_sim003_silent_in_base_and_for_other_attrs(tmp_path):
+    base = write(
+        tmp_path,
+        "src/repro/protocols/base.py",
+        """
+        class MSS:
+            def _grab(self, ch):
+                self.use.add(ch)  # the owner: allowed
+        """,
+    )
+    other = write(
+        tmp_path,
+        "src/repro/protocols/x.py",
+        """
+        class P:
+            def note(self, ch):
+                self.pending.add(ch)  # not channel-use state
+                other.use.add(ch)  # not *self* use
+        """,
+    )
+    assert check_file(base) == []
+    assert check_file(other) == []
+
+
+# ------------------------------------------------------------------ SIM004 ----
+def test_sim004_fires_on_direct_handler_call(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/protocols/x.py",
+        """
+        class P:
+            def shortcut(self, msg, peer):
+                self._on_Request(msg)
+                peer.on_message(msg)
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM004", "SIM004"]
+
+
+def test_sim004_silent_on_definitions_and_sends(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/protocols/x.py",
+        """
+        class P:
+            def _on_Request(self, msg):
+                self.network.send(self.cell, msg.sender, msg)
+        """,
+    )
+    assert check_file(path) == []
+
+
+# ------------------------------------------------------------- suppression ----
+def test_noqa_suppresses_named_rule(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import time
+
+        def f():
+            return time.time()  # repro: noqa(SIM001)
+        """,
+    )
+    assert check_file(path) == []
+
+
+def test_noqa_only_suppresses_named_rules(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        import time
+
+        def f(self):
+            self.use.add(time.time())  # repro: noqa(SIM003)
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM001"]
+
+
+def test_bare_noqa_suppresses_everything(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        import time
+
+        def f(self):
+            self.use.add(time.time())  # repro: noqa
+        """,
+    )
+    assert check_file(path) == []
+
+
+# ------------------------------------------------------------------ engine ----
+def test_syntax_error_reported_not_raised(tmp_path):
+    path = write(tmp_path, "src/repro/sim/x.py", "def broken(:\n")
+    assert codes(check_file(path)) == ["SIM000"]
+
+
+def test_finding_format_and_location(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import time
+        t = time.time()
+        """,
+    )
+    finding = check_file(path)[0]
+    assert str(finding) == (
+        f"{path}:3:4: SIM001 wall-clock call time.time() in simulation "
+        "code; simulated time must come from env.now"
+    )
+
+
+def test_registry_codes_unique_and_documented():
+    seen = [rule.code for rule in RULES]
+    assert seen == sorted(set(seen))
+    for rule in RULES:
+        assert rule.description
+        assert rule.paths
+
+
+def test_repository_tree_is_clean():
+    findings = check_paths([str(ROOT / "src"), str(ROOT / "tools")])
+    assert findings == [], "\n".join(str(f) for f in findings)

@@ -15,7 +15,6 @@ from repro.cellular import (
 from repro.protocols import FixedMSS
 from repro.traffic import CallConfig, CallLog, WaypointHost, waypoint_call_process
 
-from conftest import drive, make_stack
 
 
 # -------------------------------------------------------------- geometry ----

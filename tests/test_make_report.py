@@ -3,7 +3,6 @@
 import pathlib
 import sys
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "tools"))

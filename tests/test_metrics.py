@@ -1,6 +1,5 @@
 """Unit tests for the metrics collector."""
 
-import numpy as np
 import pytest
 
 from repro.metrics import MetricsCollector

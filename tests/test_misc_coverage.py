@@ -1,6 +1,5 @@
 """Assorted edge-case coverage across small APIs."""
 
-import pytest
 
 from repro.cellular import CellularTopology, HexGrid
 from repro.harness import Scenario, render_table, run_scenario

@@ -79,3 +79,15 @@ def test_assert_clean_passes_when_clean(topo):
     mon = InterferenceMonitor(topo, policy="record")
     mon.acquired(0, 5, time=1.0)
     mon.assert_clean()
+
+
+def test_record_policy_accumulates_and_keeps_running(topo):
+    mon = InterferenceMonitor(topo, policy="record")
+    a, b = sorted(topo.IN(0))[:2]
+    mon.acquired(0, 5, time=1.0)
+    mon.acquired(a, 5, time=2.0)  # conflict 1
+    mon.acquired(b, 5, time=3.0)  # conflicts with 0 (and possibly a)
+    assert len(mon.violations) >= 2
+    assert mon.total_acquisitions == 3  # record mode never halts the run
+    first = mon.violations[0]
+    assert (first.time, first.channel) == (2.0, 5)

@@ -5,7 +5,6 @@ import itertools
 import pytest
 
 from repro.analysis import (
-    erlang_b,
     expected_blocked_traffic,
     marginal_allocation,
     plan_partition,

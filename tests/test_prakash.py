@@ -1,6 +1,5 @@
 """Unit tests for the allocated-set scheme (Prakash et al., §6 comparison)."""
 
-import pytest
 
 from repro.protocols import PrakashMSS
 

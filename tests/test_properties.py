@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and the
 end-to-end safety/liveness invariants."""
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings

@@ -7,7 +7,7 @@ mirrors, or pledges that never resolve.
 
 import pytest
 
-from repro.core import AdaptiveMSS, Mode
+from repro.core import Mode
 from repro.harness import Scenario, build_simulation
 
 
@@ -27,6 +27,11 @@ def drain(scheme: str, load: float, seed: int, **kw):
     sim.env.run(until=700)
     sim.source.horizon = 0
     sim.env.run()
+    # Traffic has fully drained: the end-of-run sanitizer checks apply
+    # (every channel released, every request resolved).
+    assert sim.sanitizers is not None  # pytest runs fully sanitized
+    sim.sanitizers.finalize()
+    sim.sanitizers.assert_clean()
     return sim
 
 

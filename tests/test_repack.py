@@ -1,6 +1,5 @@
 """Tests for the channel-reassignment (repack) extension."""
 
-import pytest
 
 from repro.core import AdaptiveMSS
 from repro.harness import Scenario, run_scenario

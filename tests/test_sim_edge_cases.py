@@ -8,7 +8,6 @@ from repro.sim import (
     AnyOf,
     EmptySchedule,
     Environment,
-    Event,
     Interrupt,
 )
 

@@ -7,7 +7,6 @@ from repro.sim import (
     AnyOf,
     EmptySchedule,
     Environment,
-    Event,
     Interrupt,
 )
 

@@ -1,6 +1,5 @@
 """Unit tests for the sweep utility and terminal visualizations."""
 
-import pytest
 
 from repro.harness import (
     Scenario,

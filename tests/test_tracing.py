@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import AdaptiveMSS
 from repro.harness import Scenario, build_simulation
 from repro.protocols import (
     Acquisition,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.protocols import FixedMSS
-from repro.sim import Environment, StreamRegistry
+from repro.sim import StreamRegistry
 from repro.traffic import (
     CallConfig,
     CallLog,

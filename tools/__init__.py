@@ -1,0 +1,1 @@
+"""Repository tooling: doc generation, report building, static checks."""

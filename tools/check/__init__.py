@@ -1,0 +1,34 @@
+"""Simulation-specific static checks (``python -m tools.check``).
+
+A small AST lint that enforces repository invariants generic linters
+cannot know about:
+
+========  =============================================================
+SIM001    No wall-clock reads inside simulation code — simulated time
+          comes from ``env.now``, never from ``time`` / ``datetime``.
+SIM002    No module-global randomness — all stochastic draws go
+          through seeded generators from ``repro.sim.rng`` so runs
+          stay reproducible.
+SIM003    Protocol subclasses never mutate channel-use state directly;
+          acquisition and release go through the ``base.py`` API so
+          the interference monitor and metrics see every transition.
+SIM004    Event handlers are invoked only by the network fabric —
+          protocol code never calls ``on_message`` / ``_on_*`` itself,
+          which would bypass latency, ordering and the sanitizers.
+========  =============================================================
+
+Suppress a finding on one line with ``# repro: noqa(SIM001)`` (comma
+list allowed; bare ``# repro: noqa`` silences every rule on the line).
+"""
+
+from .engine import Finding, check_file, check_paths, iter_python_files
+from .rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "check_file",
+    "check_paths",
+    "iter_python_files",
+]

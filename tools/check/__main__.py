@@ -1,0 +1,55 @@
+"""CLI entry point: ``python -m tools.check [paths...]``.
+
+Exits 1 if any finding is reported, 0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .engine import check_paths
+from .rules import RULES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools.check",
+        description="Simulation-specific static checks (SIM001-SIM004).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools"],
+        help="files or directories to check (default: src tools)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.description}")
+        return 0
+
+    missing = [p for p in args.paths if not pathlib.Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+
+    findings = check_paths(args.paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Core of the SIM lint: parsing, alias resolution, noqa, reporting.
+
+The engine parses each file once, builds an import-alias table so rules
+match *canonical* dotted names (``import numpy as np`` makes
+``np.random.seed`` resolve to ``numpy.random.seed``), runs every rule
+whose path scope covers the file, and filters findings through
+line-level ``# repro: noqa(...)`` pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+__all__ = [
+    "Finding",
+    "CheckContext",
+    "check_file",
+    "check_paths",
+    "iter_python_files",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa(SIM001, SIM003)``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*(?:\(\s*([A-Z0-9_,\s]+?)\s*\))?", re.IGNORECASE
+)
+
+#: Sentinel meaning "every rule is suppressed on this line".
+_ALL = "ALL"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a precise source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class CheckContext:
+    """Per-file facts shared by all rules: alias table and resolution."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.tree = tree
+        #: local name -> canonical dotted prefix it stands for.
+        self.aliases: Dict[str, str] = {}
+        self._collect_aliases(tree)
+
+    def _collect_aliases(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b.c`` binds ``a`` (to a); with asname
+                    # it binds the full dotted path.
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: stays package-local
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{module}.{alias.name}"
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or None.
+
+        Chains rooted in anything but a plain name (calls, subscripts,
+        ``self``) resolve to None — rules that care about object
+        attributes match the raw AST instead.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _noqa_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes (or {_ALL})."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group(1)
+        if codes is None:
+            suppressed[lineno] = {_ALL}
+        else:
+            suppressed[lineno] = {
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            }
+    return suppressed
+
+
+def _scoped_rules(path: str, rules) -> List:
+    posix = PurePath(path).as_posix()
+    chosen = []
+    for rule in rules:
+        if any(fragment in posix for fragment in rule.excludes):
+            continue
+        if any(fragment in posix for fragment in rule.paths):
+            chosen.append(rule)
+    return chosen
+
+
+def check_file(path: str, rules=None) -> List[Finding]:
+    """Run every applicable rule over one file; returns its findings."""
+    if rules is None:
+        from .rules import RULES as rules  # late import: rules use engine types
+    source = Path(path).read_text()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "SIM000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    applicable = _scoped_rules(path, rules)
+    if not applicable:
+        return []
+    ctx = CheckContext(path, tree)
+    suppressed = _noqa_lines(source)
+    findings: List[Finding] = []
+    for rule in applicable:
+        for node, message in rule.run(tree, ctx):
+            line = getattr(node, "lineno", 1)
+            codes = suppressed.get(line)
+            if codes is not None and (_ALL in codes or rule.code in codes):
+                continue
+            findings.append(
+                Finding(path, line, getattr(node, "col_offset", 0), rule.code, message)
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(str(f) for f in p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield str(p)
+
+
+def check_paths(paths: Iterable[str], rules=None) -> List[Finding]:
+    """Check every Python file under ``paths``; returns all findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(check_file(file_path, rules=rules))
+    return findings

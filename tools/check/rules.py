@@ -1,0 +1,200 @@
+"""The SIM rule set.
+
+Each rule declares a code, a one-line description, the path fragments
+it applies to (matched against the file's POSIX path), optional
+exclusions, and a ``run(tree, ctx)`` generator yielding
+``(node, message)`` pairs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from .engine import CheckContext
+
+__all__ = ["Rule", "RULES"]
+
+Match = Tuple[ast.AST, str]
+
+#: Simulation code: everything that runs inside the event loop.
+_SIM_SCOPE = ("src/repro/sim", "src/repro/protocols", "src/repro/core")
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``run``."""
+
+    code: str = ""
+    description: str = ""
+    paths: Tuple[str, ...] = ()
+    excludes: Tuple[str, ...] = ()
+
+    def run(self, tree: ast.Module, ctx: CheckContext) -> Iterator[Match]:
+        raise NotImplementedError
+
+
+class NoWallClock(Rule):
+    """SIM001: simulated time comes from ``env.now``, never the host."""
+
+    code = "SIM001"
+    description = "no wall-clock reads in simulation code (use env.now)"
+    paths = _SIM_SCOPE
+
+    #: Canonical callables that read the host clock.
+    BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def run(self, tree: ast.Module, ctx: CheckContext) -> Iterator[Match]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name in self.BANNED:
+                yield node, (
+                    f"wall-clock call {name}() in simulation code; "
+                    "simulated time must come from env.now"
+                )
+
+
+class NoGlobalRandom(Rule):
+    """SIM002: all randomness flows through seeded ``sim/rng`` streams."""
+
+    code = "SIM002"
+    description = "no module-global RNG calls (use repro.sim.rng streams)"
+    paths = ("src/repro",)
+    excludes = ("src/repro/sim/rng.py",)
+
+    #: numpy.random names that *construct* seeded generators — the
+    #: sanctioned building blocks rng.py itself is made of.
+    NUMPY_ALLOWED = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+        }
+    )
+
+    def run(self, tree: ast.Module, ctx: CheckContext) -> Iterator[Match]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name is None:
+                continue
+            if name.startswith("random.") or name == "random":
+                yield node, (
+                    f"global stdlib RNG call {name}(); draw from a "
+                    "seeded stream (repro.sim.rng) instead"
+                )
+            elif name.startswith("numpy.random."):
+                tail = name[len("numpy.random."):]
+                if tail.split(".")[0] not in self.NUMPY_ALLOWED:
+                    yield node, (
+                        f"global numpy RNG call {name}(); use a "
+                        "Generator from repro.sim.rng instead"
+                    )
+
+
+class NoDirectUseMutation(Rule):
+    """SIM003: channel-use transitions go through the base-class API."""
+
+    code = "SIM003"
+    description = "no direct self.use mutation outside protocols/base.py"
+    paths = ("src/repro/protocols", "src/repro/core")
+    excludes = ("src/repro/protocols/base.py",)
+
+    MUTATORS = frozenset(
+        {
+            "add",
+            "discard",
+            "remove",
+            "clear",
+            "pop",
+            "update",
+            "difference_update",
+            "intersection_update",
+            "symmetric_difference_update",
+        }
+    )
+
+    @staticmethod
+    def _is_self_use(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "use"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def run(self, tree: ast.Module, ctx: CheckContext) -> Iterator[Match]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.MUTATORS
+                and self._is_self_use(node.func.value)
+            ):
+                yield node, (
+                    f"direct self.use.{node.func.attr}(); acquire and "
+                    "release channels through the base MSS API "
+                    "(_grab/_drop_from_use) so the monitor sees it"
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if self._is_self_use(target):
+                        yield node, (
+                            "rebinding self.use; channel state is owned "
+                            "by the base MSS class"
+                        )
+
+
+class NoDirectHandlerCall(Rule):
+    """SIM004: only the network fabric may invoke message handlers."""
+
+    code = "SIM004"
+    description = "no direct handler invocation (messages go via Network)"
+    paths = ("src/repro/protocols", "src/repro/core")
+
+    def run(self, tree: ast.Module, ctx: CheckContext) -> Iterator[Match]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "on_message" or func.attr.startswith("_on_"):
+                yield node, (
+                    f"direct call to handler .{func.attr}(); deliver "
+                    "messages through Network.send so latency, ordering "
+                    "and sanitizers apply"
+                )
+
+
+#: The active rule registry, in code order.
+RULES: List[Rule] = [
+    NoWallClock(),
+    NoGlobalRandom(),
+    NoDirectUseMutation(),
+    NoDirectHandlerCall(),
+]
