@@ -19,7 +19,7 @@ import argparse
 import json
 import sys
 
-from .harness import SCHEMES, Scenario, render_table, run_scenario
+from .harness import SCHEMES, Scenario, render_table, run_cells
 from .traffic import HotspotLoad
 
 
@@ -56,6 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta-high", type=float, default=3.0)
     p.add_argument("--window", type=float, default=30.0)
     p.add_argument("--json", action="store_true", help="JSON output")
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run scenarios in parallel over N worker processes "
+        "(0 = one per CPU); results are identical to serial",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the persistent result cache (.repro-cache/) and "
+        "always simulate",
+    )
     p.add_argument(
         "--config", type=str, default=None, metavar="FILE",
         help="load the scenario from a JSON file (other scenario flags "
@@ -150,7 +160,11 @@ def main(argv=None) -> int:
         print(scenarios[0].to_json())
         return 0
 
-    reports = [run_scenario(s) for s in scenarios]
+    reports = run_cells(
+        scenarios,
+        workers=args.workers if args.workers > 0 else None,
+        cache=False if args.no_cache else None,
+    )
 
     if args.json:
         print(json.dumps([report_dict(r) for r in reports], indent=2))

@@ -280,9 +280,11 @@ class AdaptiveMSS(MSS):
 
     def free_primary_count(self) -> int:
         """``s = |PR_i − (I_i ∪ Use_i)|`` of Fig. 6."""
+        use = self.use
+        icount = self._icount
         count = 0
         for channel in self.PR:
-            if channel not in self.use and channel not in self._icount:
+            if channel not in use and channel not in icount:
                 count += 1
         return count
 
@@ -532,9 +534,10 @@ class AdaptiveMSS(MSS):
     # ------------------------------------------------------------------
     def _check_mode(self) -> None:
         s = self.free_primary_count()
-        t = self.env.now
-        self.nfc.add(t, s)
-        predicted = self.nfc.predict(t, 2 * self.T)
+        t = self.env._now
+        nfc = self.nfc
+        nfc.add(t, s)
+        predicted = nfc.predict(t, 2 * self.T)
         if self.mode is Mode.LOCAL and predicted < self.theta_low:
             self._enter_borrowing()
         elif self.mode is Mode.BORROW_IDLE and predicted >= self.theta_high:

@@ -38,37 +38,52 @@ class NFCWindow:
         """Record that the free-channel count became ``s`` at time ``t``."""
         if s < 0:
             raise ValueError("free-channel count cannot be negative")
-        if self._samples and t < self._samples[-1][0]:
+        samples = self._samples  # never empty: seeded with (-inf, initial)
+        last_t = samples[-1][0]
+        if t < last_t:
             raise ValueError(
-                f"samples must be time-ordered (got {t} after "
-                f"{self._samples[-1][0]})"
+                f"samples must be time-ordered (got {t} after {last_t})"
             )
-        if self._samples and self._samples[-1][0] == t:
+        if last_t == t:
             # Same-instant update supersedes the previous sample.
-            self._samples.pop()
-        self._samples.append((t, s))
-        self._prune(t - self.window)
+            samples.pop()
+        samples.append((t, s))
+        # Prune inline (same rule as _prune; this is the hot caller).
+        horizon = t - self.window
+        while len(samples) >= 2 and samples[1][0] <= horizon:
+            samples.popleft()
+        first = samples[0]
+        if first[0] < horizon:
+            samples[0] = (horizon, first[1])
 
     def _prune(self, horizon: float) -> None:
         # Delete samples strictly older than the horizon, but keep the
         # most recent of them as the boundary value so get(horizon) is
         # still answerable (the paper's deletion rule is looser; this is
         # the exact-semantics version).
-        while (
-            len(self._samples) >= 2 and self._samples[1][0] <= horizon
-        ):
-            self._samples.popleft()
-        if self._samples and self._samples[0][0] < horizon:
-            value = self._samples[0][1]
-            self._samples[0] = (horizon, value)
+        samples = self._samples
+        while len(samples) >= 2 and samples[1][0] <= horizon:
+            samples.popleft()
+        first = samples[0]
+        if first[0] < horizon:
+            samples[0] = (horizon, first[1])
 
     def get(self, t: float) -> int:
         """Free-channel count in effect at time ``t``.
 
         Times before recorded history return the oldest known value.
         """
-        result = self._samples[0][1]
-        for when, value in self._samples:
+        samples = self._samples
+        # Fast paths for the two queries ``predict`` makes right after
+        # ``add``: the newest sample (t >= last add) and the pruned
+        # window boundary (t == now - W, which lands on samples[0]).
+        newest = samples[-1]
+        if newest[0] <= t:
+            return newest[1]
+        if len(samples) > 1 and samples[1][0] > t:
+            return samples[0][1]
+        result = samples[0][1]
+        for when, value in samples:
             if when <= t:
                 result = value
             else:

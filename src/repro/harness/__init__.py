@@ -10,6 +10,8 @@ from .runner import (
     run_scenario,
 )
 from .ascii_viz import bar_chart, hex_heatmap, sparkline
+from .cache import ResultCache, cache_key, code_stamp, resolve_cache
+from .parallel import CellFailure, ExperimentError, default_workers, run_cells
 from .presets import PRESETS, preset, preset_names
 from .stats import CI, compare, summarize
 from .sweeps import DEFAULT_COLUMNS, SweepResult, sweep, to_csv
@@ -21,6 +23,14 @@ __all__ = [
     "SweepResult",
     "to_csv",
     "DEFAULT_COLUMNS",
+    "run_cells",
+    "default_workers",
+    "CellFailure",
+    "ExperimentError",
+    "ResultCache",
+    "resolve_cache",
+    "cache_key",
+    "code_stamp",
     "sparkline",
     "bar_chart",
     "hex_heatmap",

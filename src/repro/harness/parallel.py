@@ -1,0 +1,183 @@
+"""Parallel execution of independent experiment cells.
+
+The paper's entire evaluation is a grid of independent
+(scheme, parameter, seed) simulations, so the experiment engine fans
+cells out over a ``multiprocessing`` pool: each worker rebuilds its
+simulation from a pickled :class:`~repro.harness.config.Scenario` and
+returns the finished :class:`~repro.harness.runner.Report`.
+
+Guarantees, in order of importance:
+
+* **Determinism.** Results are re-ordered by cell index, so
+  ``run_cells(..., workers=N)`` is row-for-row identical to the serial
+  run for any N — parallelism is purely a wall-clock optimization.
+* **Failure isolation.** A crashing cell never takes down the grid:
+  its traceback is captured as a :class:`CellFailure` and the
+  remaining cells complete; an :class:`ExperimentError` carrying every
+  failure (and every successful report) is raised at the end.
+* **Spawn safety.** The worker entrypoint is a module-level function
+  driven only by its pickled arguments, so the pool works identically
+  under the ``spawn``, ``fork`` and ``forkserver`` start methods.
+  The parent's sanitizer policy is shipped along and re-applied in the
+  worker, which does not inherit process globals under ``spawn``.
+
+``workers=1`` (the default everywhere) bypasses the pool entirely and
+runs serially in-process, with the same failure capture and the same
+result cache integration (see :mod:`repro.harness.cache`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..verify import get_default_policy, set_default_policy
+from .cache import ResultCache, resolve_cache
+from .config import Scenario
+from .runner import Report, run_scenario
+
+__all__ = [
+    "CellFailure",
+    "ExperimentError",
+    "run_cells",
+    "default_workers",
+]
+
+#: Pickled per-cell work order: (index, scenario, sanitizer policy).
+_Cell = Tuple[int, Scenario, Optional[str]]
+
+#: Worker result: (index, ok, report-or-traceback-string).
+_CellResult = Tuple[int, bool, Any]
+
+
+@dataclass
+class CellFailure:
+    """One crashed experiment cell: which scenario, and why."""
+
+    index: int
+    scenario: Scenario
+    traceback: str
+
+    def summary(self) -> str:
+        last = self.traceback.strip().splitlines()[-1] if self.traceback else "?"
+        return (
+            f"cell {self.index} (scheme={self.scenario.scheme!r}, "
+            f"seed={self.scenario.seed}): {last}"
+        )
+
+
+class ExperimentError(RuntimeError):
+    """One or more cells of an experiment grid crashed.
+
+    The grid ran to completion first: ``reports`` holds every
+    successful :class:`Report` (None at failed indices) and
+    ``failures`` the captured tracebacks, so a long sweep's work is
+    not lost to one bad cell.
+    """
+
+    def __init__(
+        self, failures: List[CellFailure], reports: List[Optional[Report]]
+    ) -> None:
+        self.failures = failures
+        self.reports = reports
+        lines = [f"{len(failures)} of {len(reports)} experiment cells failed:"]
+        lines += [f"  - {f.summary()}" for f in failures]
+        lines.append("(full tracebacks in .failures)")
+        super().__init__("\n".join(lines))
+
+
+def default_workers() -> int:
+    """Worker count used for ``workers=None``: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_cell(cell: _Cell) -> _CellResult:
+    """Spawn-safe worker entrypoint: run one pickled scenario.
+
+    Exceptions are captured as formatted tracebacks rather than
+    propagated, so one bad cell cannot poison the pool.
+    """
+    index, scenario, policy = cell
+    try:
+        if get_default_policy() != policy:
+            set_default_policy(policy)
+        return index, True, run_scenario(scenario)
+    except Exception:
+        return index, False, traceback.format_exc()
+
+
+def run_cells(
+    scenarios: Sequence[Scenario],
+    workers: Optional[int] = 1,
+    cache: Any = None,
+) -> List[Report]:
+    """Run every scenario; reports come back in input order.
+
+    Parameters
+    ----------
+    scenarios:
+        The experiment cells.  Each must be picklable when
+        ``workers > 1`` (every stock :class:`Scenario` is).
+    workers:
+        Process count: ``1`` (default) runs serially in-process, ``N``
+        fans out over a pool of N, ``None`` uses one per CPU.  Output
+        is bit-identical regardless.
+    cache:
+        Result-cache knob (see
+        :func:`repro.harness.cache.resolve_cache`): ``None`` uses the
+        ambient default (on unless ``REPRO_CACHE=off``), ``False``
+        disables, ``True``/path/:class:`ResultCache` select a cache
+        explicitly.  Cached cells are served without running (or
+        spawning workers) at all.
+
+    Raises
+    ------
+    ExperimentError
+        After the whole grid has been attempted, if any cell crashed.
+    """
+    scenarios = list(scenarios)
+    store: Optional[ResultCache] = resolve_cache(cache)
+    reports: List[Optional[Report]] = [None] * len(scenarios)
+
+    pending: List[_Cell] = []
+    policy = get_default_policy()
+    for index, scenario in enumerate(scenarios):
+        if not isinstance(scenario, Scenario):
+            raise TypeError(f"cell {index} is not a Scenario: {scenario!r}")
+        hit = store.get(scenario) if store is not None else None
+        if hit is not None:
+            reports[index] = hit
+        else:
+            pending.append((index, scenario, policy))
+
+    failures: List[CellFailure] = []
+
+    def consume(result: _CellResult) -> None:
+        index, ok, value = result
+        if ok:
+            reports[index] = value
+            if store is not None:
+                store.put(scenarios[index], value)
+        else:
+            failures.append(CellFailure(index, scenarios[index], value))
+
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(pending) <= 1:
+        for cell in pending:
+            consume(_run_cell(cell))
+    else:
+        # ``spawn`` everywhere: identical semantics on every platform
+        # and no accidental inheritance of parent state.
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(workers, len(pending))) as pool:
+            for result in pool.imap_unordered(_run_cell, pending, chunksize=1):
+                consume(result)
+
+    if failures:
+        failures.sort(key=lambda f: f.index)
+        raise ExperimentError(failures, reports)
+    return reports  # type: ignore[return-value]  # all cells succeeded

@@ -279,8 +279,21 @@ def run_scenario(scenario: Scenario) -> Report:
     return build_simulation(scenario).run()
 
 
-def run_replications(scenario: Scenario, n: int) -> List[Report]:
-    """Run ``n`` independent replications (seeds seed, seed+1, ...)."""
-    return [
-        run_scenario(scenario.with_(seed=scenario.seed + i)) for i in range(n)
-    ]
+def run_replications(
+    scenario: Scenario,
+    n: int,
+    workers: Optional[int] = 1,
+    cache: Any = None,
+) -> List[Report]:
+    """Run ``n`` independent replications (seeds seed, seed+1, ...).
+
+    ``workers`` fans replications out over a process pool (``None`` =
+    one per CPU) with deterministically ordered results; ``cache``
+    controls the persistent result cache (see
+    :func:`repro.harness.cache.resolve_cache`).
+    """
+    # Local import: parallel builds on this module's run_scenario.
+    from .parallel import run_cells
+
+    cells = [scenario.with_(seed=scenario.seed + i) for i in range(n)]
+    return run_cells(cells, workers=workers, cache=cache)

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from .config import Scenario
-from .runner import Report, run_scenario
+from .parallel import run_cells
+from .runner import Report
 
 __all__ = ["SweepResult", "sweep", "to_csv", "DEFAULT_COLUMNS"]
 
@@ -49,10 +50,25 @@ class SweepResult:
         return seen
 
     def mean_over_seeds(self, column: str) -> Dict[Any, float]:
-        """Average a column across replications, per parameter value."""
+        """Average a column across replications, per parameter value.
+
+        Raises ``TypeError`` with the offending column/value if the
+        column holds non-numeric data (e.g. an ``extra`` callback that
+        returns labels).
+        """
         sums: Dict[Any, List[float]] = {}
         for row in self.rows:
-            sums.setdefault(row[self.parameter], []).append(float(row[column]))
+            value = row[column]
+            try:
+                numeric = float(value)
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"column {column!r} is not numeric and cannot be "
+                    f"averaged: got {value!r} at "
+                    f"{self.parameter}={row.get(self.parameter)!r}, "
+                    f"seed={row.get('seed')!r}"
+                ) from None
+            sums.setdefault(row[self.parameter], []).append(numeric)
         return {k: sum(v) / len(v) for k, v in sums.items()}
 
     def table_rows(self, columns: Optional[Sequence[str]] = None) -> List[List[Any]]:
@@ -76,6 +92,8 @@ def sweep(
     seeds: Iterable[int] = (1,),
     columns: Sequence[str] = DEFAULT_COLUMNS,
     extra: Optional[Callable[[Report], Dict[str, Any]]] = None,
+    workers: Optional[int] = 1,
+    cache: Any = None,
 ) -> SweepResult:
     """Run ``base`` for every (value, seed) combination.
 
@@ -83,9 +101,19 @@ def sweep(
     ``alpha``) or, if unknown, is passed through ``extra_params`` to the
     MSS constructor (e.g. ``best_policy``).  ``extra`` may compute
     additional per-report columns.
+
+    ``workers`` fans the (value, seed) cells out over a process pool
+    (``None`` = one per CPU); rows are re-ordered deterministically, so
+    parallel output is row-for-row identical to serial.  ``cache``
+    controls the persistent result cache (see
+    :func:`repro.harness.cache.resolve_cache`): by default, re-running
+    an unchanged sweep on unchanged code is a cache hit; pass
+    ``cache=False`` or set ``REPRO_CACHE=off`` to always simulate.
     """
     known = _scenario_fields()
     result = SweepResult(parameter=parameter, columns=list(columns))
+    cells: List[Scenario] = []
+    labels: List[tuple] = []
     for value in values:
         for seed in seeds:
             if parameter in known:
@@ -94,24 +122,39 @@ def sweep(
                 params = dict(base.extra_params)
                 params[parameter] = value
                 scenario = base.with_(extra_params=params, seed=seed)
-            report = run_scenario(scenario)
-            row: Dict[str, Any] = {parameter: value, "seed": seed}
-            for column in columns:
-                row[column] = getattr(report, column)
-            if extra is not None:
-                row.update(extra(report))
-            result.rows.append(row)
-            result.reports.append(report)
+            cells.append(scenario)
+            labels.append((value, seed))
+    reports = run_cells(cells, workers=workers, cache=cache)
+    for (value, seed), report in zip(labels, reports):
+        row: Dict[str, Any] = {parameter: value, "seed": seed}
+        for column in columns:
+            row[column] = getattr(report, column)
+        if extra is not None:
+            row.update(extra(report))
+        result.rows.append(row)
+        result.reports.append(report)
     return result
 
 
 def to_csv(result: SweepResult) -> str:
-    """Serialize sweep rows as CSV text."""
+    """Serialize sweep rows as CSV text.
+
+    Rows may have heterogeneous keys (an ``extra`` callback that
+    returns different columns per report): the header is the union of
+    all row keys in first-appearance order, and missing cells are
+    left blank.
+    """
     if not result.rows:
         return ""
     buffer = io.StringIO()
-    fieldnames = list(result.rows[0].keys())
-    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    fieldnames: List[str] = []
+    seen = set()
+    for row in result.rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                fieldnames.append(key)
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
     writer.writeheader()
     for row in result.rows:
         writer.writerow(row)

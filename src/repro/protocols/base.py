@@ -87,6 +87,9 @@ class MSS:
         #: alias is outstanding, so each id maps to a FIFO of targets
         #: (the calls are physically interchangeable, any pairing works).
         self._alias: Dict[int, "deque[int]"] = {}
+        #: Dispatch cache: payload type -> bound ``_on_<Type>`` handler
+        #: (filled lazily; saves a name format + getattr per message).
+        self._handlers: Dict[type, Any] = {}
         network.attach(self)
 
     # ------------------------------------------------------------------
@@ -244,13 +247,18 @@ class MSS:
     # ------------------------------------------------------------------
     def on_message(self, envelope: Envelope) -> None:
         """Route an incoming envelope to ``_on_<PayloadClass>``."""
-        handler = getattr(self, f"_on_{type(envelope.payload).__name__}", None)
-        if handler is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} has no handler for "
-                f"{type(envelope.payload).__name__}"
-            )
-        handler(envelope.payload)
+        payload = envelope.payload
+        cls = type(payload)
+        try:
+            handler = self._handlers[cls]
+        except KeyError:
+            handler = getattr(self, f"_on_{cls.__name__}", None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} has no handler for {cls.__name__}"
+                ) from None
+            self._handlers[cls] = handler
+        handler(payload)
 
     # -- debugging ----------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover

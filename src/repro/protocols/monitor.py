@@ -63,6 +63,10 @@ class InterferenceMonitor:
         self.total_acquisitions = 0
         self.total_releases = 0
         self.max_concurrent_users = 0
+        # Active (cell, channel) pairs, maintained incrementally so
+        # per-acquisition bookkeeping stays O(1) instead of summing
+        # every channel's user set.
+        self._active = 0
 
     def acquired(self, cell: int, channel: int, time: float) -> None:
         """Record that ``cell`` started using ``channel`` at ``time``."""
@@ -80,9 +84,9 @@ class InterferenceMonitor:
                 self.violations.append(violation)
         users.add(cell)
         self.total_acquisitions += 1
-        self.max_concurrent_users = max(
-            self.max_concurrent_users, sum(len(u) for u in self.users.values())
-        )
+        self._active += 1
+        if self._active > self.max_concurrent_users:
+            self.max_concurrent_users = self._active
 
     def released(self, cell: int, channel: int, time: float) -> None:
         """Record that ``cell`` stopped using ``channel``."""
@@ -93,11 +97,12 @@ class InterferenceMonitor:
             )
         users.discard(cell)
         self.total_releases += 1
+        self._active -= 1
 
     @property
     def in_use(self) -> int:
         """Number of (cell, channel) pairs currently active."""
-        return sum(len(u) for u in self.users.values())
+        return self._active
 
     def channels_used_by(self, cell: int) -> Set[int]:
         return {ch for ch, users in self.users.items() if cell in users}

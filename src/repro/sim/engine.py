@@ -13,6 +13,12 @@ from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tup
 
 from .events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
 
+# Bound once at import: the scheduler touches these on every event, and
+# a module-global lookup is measurably cheaper than ``heapq.heappush``
+# attribute traversal in the hot loop.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = ["Environment", "EmptySchedule", "StopSimulation", "ProbeCallback"]
 
 #: A probe callback: called as ``callback(now, payload)``.
@@ -67,7 +73,12 @@ class Environment:
 
     def emit(self, kind: str, payload: Any = None) -> None:
         """Deliver a probe event to every subscriber of ``kind``."""
-        callbacks = self._probes.get(kind)
+        probes = self._probes
+        if not probes:
+            # Fast path: nothing anywhere is listening (the common case
+            # outside sanitized test runs) — skip even the key hash.
+            return
+        callbacks = probes.get(kind)
         if callbacks:
             now = self._now
             for callback in tuple(callbacks):
@@ -97,8 +108,27 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event triggering ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event triggering ``delay`` time units from now.
+
+        This is the kernel's hottest allocation site (every message
+        delivery and every hold/dwell interval goes through it), so it
+        builds the :class:`Timeout` directly — same state as
+        ``Timeout(self, delay, value)``, minus the generic event
+        plumbing of the constructor chain.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._processed = False
+        event.delay = delay
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+        return event
 
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None
@@ -117,8 +147,8 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Put a triggered event on the queue ``delay`` units from now."""
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (self._now + delay, priority, eid, event))
 
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
@@ -127,16 +157,15 @@ class Environment:
         Raises :class:`EmptySchedule` if no events remain, and re-raises
         any un-defused event failure (a crashed process nobody waited on).
         """
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        when, _prio, _eid, event = _heappop(queue)
 
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None  # late callback registration is a bug
         event._processed = True
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
 
@@ -173,17 +202,38 @@ class Environment:
             stop._ok = True
             stop._value = None
             stop.callbacks = [self._stop_callback]
-            # Priority below URGENT/NORMAL range ensures nothing else at
-            # time `at` runs before we halt? No: we want events *at* `at`
-            # to be inspectable but SimPy halts before processing events
-            # at `at` with priority URGENT. We use URGENT so the clock
-            # advances to `at` and stops before NORMAL events there.
+            # Stop-event priority rule: the stop event is scheduled at
+            # time `at` with priority -1, ahead of both URGENT (0) and
+            # NORMAL (1), so the clock advances to exactly `at` and the
+            # run halts before any simulation event scheduled at `at`
+            # is processed.
             self._eid += 1
-            heapq.heappush(self._queue, (at, -1, self._eid, stop))
+            _heappush(self._queue, (at, -1, self._eid, stop))
 
+        # Inlined `step()` loop: one method call per event is real
+        # overhead at millions of events, so the body is duplicated here
+        # with the queue and heap-pop bound to locals.  Keep in sync
+        # with :meth:`step`.
+        queue = self._queue
+        pop = _heappop
         try:
             while True:
-                self.step()
+                if not queue:
+                    raise EmptySchedule()
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None  # late callback registration is a bug
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise RuntimeError(
+                        f"unhandled failed event with value {exc!r}"
+                    )
         except StopSimulation as stop_exc:
             return stop_exc.args[0]
         except EmptySchedule:

@@ -10,6 +10,7 @@ insertion-order) sequence.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -120,11 +121,15 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, priority=priority)
+        # Inlined ``env._schedule(self, priority)`` — this is the hot
+        # trigger path (process wakeups, resource grants).
+        env = self.env
+        env._eid = eid = env._eid + 1
+        _heappush(env._queue, (env._now, priority, eid, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":

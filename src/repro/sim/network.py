@@ -11,7 +11,6 @@ used by the metrics layer to count control messages by type.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, KeysView, List, Optional, Protocol, Tuple
 
 import numpy as np
@@ -38,21 +37,43 @@ class NetworkNode(Protocol):
         ...
 
 
-@dataclass
 class Envelope:
-    """A message in flight: payload plus routing/timing metadata."""
+    """A message in flight: payload plus routing/timing metadata.
 
-    src: int
-    dst: int
-    payload: Any
-    sent_at: float
-    deliver_at: float = 0.0
-    seq: int = 0
+    A plain ``__slots__`` class rather than a dataclass: one envelope is
+    allocated per message send, which makes this one of the hottest
+    allocation sites in the simulator.
+    """
+
+    __slots__ = ("src", "dst", "payload", "sent_at", "deliver_at", "seq")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        sent_at: float,
+        deliver_at: float = 0.0,
+        seq: int = 0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.sent_at = sent_at
+        self.deliver_at = deliver_at
+        self.seq = seq
 
     @property
     def kind(self) -> str:
         """Message-type name used for per-type counting."""
         return type(self.payload).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Envelope(src={self.src!r}, dst={self.dst!r}, "
+            f"payload={self.payload!r}, sent_at={self.sent_at!r}, "
+            f"deliver_at={self.deliver_at!r}, seq={self.seq!r})"
+        )
 
 
 class LatencyModel:
@@ -193,17 +214,23 @@ class Network:
         """
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
-        now = self.env.now
-        delay = (
-            float(delay_override)
-            if delay_override is not None
-            else self.latency.sample(src, dst)
-        )
+        env = self.env
+        now = env._now
+        latency = self.latency
+        if delay_override is not None:
+            delay = float(delay_override)
+        elif type(latency) is DeterministicLatency:
+            # Fast path: skip the method call for the constant model.
+            delay = latency.T
+        else:
+            delay = latency.sample(src, dst)
         deliver_at = now + delay
         if self.fifo:
             link = (src, dst)
-            floor = self._last_delivery.get(link, 0.0)
-            deliver_at = max(deliver_at, floor)
+            last_delivery = self._last_delivery
+            floor = last_delivery.get(link, 0.0)
+            if deliver_at < floor:
+                deliver_at = floor
             # The scheduler computes ``now + (deliver_at - now)``, which
             # can undershoot the clamped floor by one ulp and let this
             # message overtake its predecessor on the link; nudge until
@@ -212,26 +239,20 @@ class Network:
             while now + (deliver_at - now) < floor:
                 deliver_at = math.nextafter(deliver_at, math.inf)
             deliver_at = now + (deliver_at - now)
-            self._last_delivery[link] = deliver_at
+            last_delivery[link] = deliver_at
 
-        self._seq += 1
-        env_msg = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            sent_at=now,
-            deliver_at=deliver_at,
-            seq=self._seq,
-        )
+        self._seq = seq = self._seq + 1
+        env_msg = Envelope(src, dst, payload, now, deliver_at, seq)
         self.total_sent += 1
-        kind = env_msg.kind
-        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
-        for hook in self.on_send:
-            hook(env_msg)
-        self.env.emit("net.send", env_msg)
+        kind = type(payload).__name__
+        counts = self.sent_by_kind
+        counts[kind] = counts.get(kind, 0) + 1
+        if self.on_send:
+            for hook in self.on_send:
+                hook(env_msg)
+        env.emit("net.send", env_msg)
 
-        delivery = self.env.timeout(deliver_at - now, env_msg)
-        assert delivery.callbacks is not None
+        delivery = env.timeout(deliver_at - now, env_msg)
         delivery.callbacks.append(self._deliver)
         return env_msg
 
@@ -244,8 +265,9 @@ class Network:
         return count
 
     def _deliver(self, event: Any) -> None:
-        env_msg: Envelope = event.value
-        for hook in self.on_deliver:
-            hook(env_msg)
+        env_msg: Envelope = event._value
+        if self.on_deliver:
+            for hook in self.on_deliver:
+                hook(env_msg)
         self.env.emit("net.deliver", env_msg)
         self._nodes[env_msg.dst].on_message(env_msg)

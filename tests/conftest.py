@@ -6,6 +6,8 @@ deterministically; ``drive``/``drive_all`` run request generators to
 completion inside the event loop.
 """
 
+import os
+
 import pytest
 
 from repro.cellular import CellularTopology
@@ -28,6 +30,22 @@ def _enable_sanitizers():
     previous = set_default_policy("raise")
     yield
     set_default_policy(previous)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _disable_ambient_result_cache():
+    """Keep the suite hermetic: no ``.repro-cache/`` reads or writes.
+
+    Tests that exercise the cache opt in explicitly by passing
+    ``cache=`` (a tmp-path-rooted ``ResultCache``) to the harness.
+    """
+    previous = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = "off"
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE", None)
+    else:
+        os.environ["REPRO_CACHE"] = previous
 
 
 def make_stack(

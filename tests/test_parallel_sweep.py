@@ -1,0 +1,107 @@
+"""Parallel experiment engine: determinism parity and failure capture.
+
+The core guarantee under test: ``workers=N`` is purely a wall-clock
+optimization — the rows that come back are bit-identical to the serial
+run, for every scheme, and a crashing cell reports its traceback
+without losing the rest of the grid.
+"""
+
+import pytest
+
+from repro.harness import (
+    ExperimentError,
+    Scenario,
+    default_workers,
+    run_cells,
+    run_replications,
+    sweep,
+)
+
+
+def quick(**kw):
+    base = dict(
+        duration=400.0, warmup=100.0, offered_load=4.0,
+        mean_holding=60.0, seed=3,
+    )
+    base.update(kw)
+    return Scenario(**base)
+
+
+def test_parallel_sweep_rows_identical_to_serial():
+    """sweep(workers=4) is row-for-row identical to serial, 3 schemes."""
+    base = quick()
+    kwargs = dict(
+        parameter="scheme",
+        values=["fixed", "basic_update", "adaptive"],
+        seeds=[1, 2],
+        cache=False,
+    )
+    serial = sweep(base, workers=1, **kwargs)
+    parallel = sweep(base, workers=4, **kwargs)
+    assert len(serial.rows) == 6
+    assert parallel.rows == serial.rows
+    # Full reports match on every headline quantity, not just the rows.
+    for a, b in zip(serial.reports, parallel.reports):
+        assert a.offered == b.offered
+        assert a.drop_rate == b.drop_rate
+        assert a.messages_total == b.messages_total
+        assert a.mean_acquisition_time == b.mean_acquisition_time
+        assert a.mode_fractions == b.mode_fractions
+
+
+def test_run_replications_parallel_matches_serial():
+    base = quick(scheme="basic_search")
+    serial = run_replications(base, 3, workers=1, cache=False)
+    parallel = run_replications(base, 3, workers=2, cache=False)
+    assert [r.scenario.seed for r in serial] == [3, 4, 5]
+    for a, b in zip(serial, parallel):
+        assert a.scenario.seed == b.scenario.seed
+        assert a.offered == b.offered
+        assert a.drop_rate == b.drop_rate
+        assert a.messages_total == b.messages_total
+
+
+def test_failure_capture_completes_grid():
+    """A crashing cell reports its traceback; the rest still run."""
+    good = quick(scheme="fixed")
+    bad = quick(scheme="nonesuch")
+    cells = [good, bad, quick(scheme="fixed", seed=9)]
+    with pytest.raises(ExperimentError) as excinfo:
+        run_cells(cells, workers=2, cache=False)
+    error = excinfo.value
+    assert len(error.failures) == 1
+    failure = error.failures[0]
+    assert failure.index == 1
+    assert failure.scenario.scheme == "nonesuch"
+    assert "unknown scheme" in failure.traceback
+    assert "nonesuch" in failure.summary()
+    # The surviving cells completed and their reports are available.
+    assert error.reports[1] is None
+    assert error.reports[0] is not None and error.reports[2] is not None
+    assert error.reports[0].offered > 0
+    assert "1 of 3" in str(error)
+
+
+def test_failure_capture_serial_path():
+    with pytest.raises(ExperimentError) as excinfo:
+        run_cells([quick(scheme="nonesuch")], workers=1, cache=False)
+    assert len(excinfo.value.failures) == 1
+
+
+def test_run_cells_rejects_non_scenarios():
+    with pytest.raises(TypeError, match="not a Scenario"):
+        run_cells(["adaptive"], cache=False)
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_workers_none_uses_cpu_count():
+    """workers=None resolves to a pool; results still match serial."""
+    base = quick(scheme="fixed")
+    serial = run_replications(base, 2, workers=1, cache=False)
+    auto = run_replications(base, 2, workers=None, cache=False)
+    for a, b in zip(serial, auto):
+        assert a.drop_rate == b.drop_rate
+        assert a.offered == b.offered

@@ -1,0 +1,337 @@
+"""Simulator benchmark driver: kernel throughput, parallel sweep, cache.
+
+Runs three measurements and records them in ``BENCH_simulator.json``:
+
+1. **Kernel throughput (B0)** — events/second per scheme, using the
+   same manual step loop as ``benchmarks/test_simulator_throughput.py``
+   so the engine's ``step()`` path itself is on the clock.  CPU time
+   (``time.process_time``) is used for the recorded events/s so the
+   numbers are stable on noisy or shared machines; wall time is
+   recorded alongside for reference.
+2. **Serial vs parallel sweep** — the same small sweep run with
+   ``workers=1`` and ``workers=N``, with a row-for-row identity check
+   proving parallel output matches serial exactly.
+3. **Cold vs warm cache** — the sweep run twice against a fresh
+   :class:`~repro.harness.ResultCache`; the second run should be
+   nearly free.
+
+Usage::
+
+    python -m tools.bench                 # full profile
+    python -m tools.bench --smoke         # small grid (CI)
+    python -m tools.bench --smoke --check # also fail on >30% regression
+
+``--check`` compares fresh kernel events/s against the committed
+baseline in ``--out`` (same profile) and exits non-zero if any scheme
+regressed by more than ``--threshold`` (default 30%).  The output file
+is merge-updated: only the measured profile's section is replaced, so
+``full`` numbers survive a ``--smoke`` run and vice versa.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List
+
+if __package__ in (None, ""):  # `python tools/bench.py` from the repo root
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+try:
+    from repro.harness import ResultCache, Scenario, build_simulation, sweep
+    from repro.sim.engine import EmptySchedule
+except ImportError:  # `python -m tools.bench` without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    from repro.harness import ResultCache, Scenario, build_simulation, sweep
+    from repro.sim.engine import EmptySchedule
+
+SCHEMA = 1
+DEFAULT_OUT = "BENCH_simulator.json"
+SCHEMES = [
+    "fixed",
+    "basic_search",
+    "basic_update",
+    "advanced_update",
+    "prakash",
+    "adaptive",
+]
+
+#: Kernel events/s on the machine that produced the committed baseline,
+#: measured at the commit *before* the kernel fast path landed (same
+#: B0 scenario, same CPU-time methodology).  Kept for the before/after
+#: record; the ``--check`` gate compares against the committed *after*
+#: numbers, not these.
+BEFORE_FULL = {
+    "fixed": 124925,
+    "basic_search": 138779,
+    "basic_update": 163325,
+    "advanced_update": 154086,
+    "prakash": 119414,
+    "adaptive": 96461,
+}
+
+PROFILES = {
+    "full": {
+        "kernel": dict(offered_load=8.0, duration=1200.0, warmup=200.0, seed=101),
+        "kernel_repeats": 3,
+        "sweep": dict(
+            values=["fixed", "basic_update", "adaptive"],
+            seeds=[1, 2],
+            offered_load=6.0,
+            duration=600.0,
+            warmup=100.0,
+        ),
+    },
+    "smoke": {
+        "kernel": dict(offered_load=8.0, duration=300.0, warmup=50.0, seed=101),
+        "kernel_repeats": 2,
+        "sweep": dict(
+            values=["fixed", "adaptive"],
+            seeds=[1],
+            offered_load=6.0,
+            duration=300.0,
+            warmup=50.0,
+        ),
+    },
+}
+
+
+def _step_all(scheme: str, spec: Dict[str, Any]):
+    """Build a B0-style simulation and step it manually to the horizon."""
+    sim = build_simulation(
+        Scenario(
+            scheme=scheme,
+            offered_load=spec["offered_load"],
+            duration=spec["duration"],
+            warmup=spec["warmup"],
+            seed=spec["seed"],
+        )
+    )
+    sim.source.start()
+    env = sim.env
+    horizon = spec["duration"]
+    events = 0
+    while True:
+        if env.peek() > horizon:
+            break
+        try:
+            env.step()
+        except EmptySchedule:
+            break
+        events += 1
+    return events
+
+
+def bench_kernel(spec: Dict[str, Any], repeats: int) -> Dict[str, Any]:
+    """Best-of-``repeats`` events/s per scheme (CPU time)."""
+    out: Dict[str, Any] = {}
+    for scheme in SCHEMES:
+        best_cpu = None
+        best_wall = None
+        events = 0
+        for _ in range(repeats):
+            w0 = time.perf_counter()
+            c0 = time.process_time()
+            events = _step_all(scheme, spec)
+            cpu = time.process_time() - c0
+            wall = time.perf_counter() - w0
+            if best_cpu is None or cpu < best_cpu:
+                best_cpu = cpu
+                best_wall = wall
+        out[scheme] = {
+            "events": events,
+            "cpu_s": round(best_cpu, 4),
+            "wall_s": round(best_wall, 4),
+            "events_per_s": int(events / best_cpu) if best_cpu else 0,
+        }
+    return out
+
+
+def _sweep_base(spec: Dict[str, Any]) -> Scenario:
+    return Scenario(
+        scheme="fixed",
+        offered_load=spec["offered_load"],
+        duration=spec["duration"],
+        warmup=spec["warmup"],
+        seed=1,
+    )
+
+
+def bench_sweep(spec: Dict[str, Any], workers: int) -> Dict[str, Any]:
+    """Serial vs parallel wall time for the same sweep, plus row parity."""
+    base = _sweep_base(spec)
+    kwargs = dict(
+        parameter="scheme",
+        values=spec["values"],
+        seeds=spec["seeds"],
+        cache=False,
+    )
+    t0 = time.perf_counter()
+    serial = sweep(base, workers=1, **kwargs)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = sweep(base, workers=workers, **kwargs)
+    parallel_s = time.perf_counter() - t0
+    identical = serial.rows == par.rows
+    return {
+        "cells": len(serial.rows),
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+        "rows_identical": identical,
+    }
+
+
+def bench_cache(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Cold vs warm wall time for the same sweep against a fresh cache."""
+    base = _sweep_base(spec)
+    kwargs = dict(parameter="scheme", values=spec["values"], seeds=spec["seeds"])
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        cold = sweep(base, cache=cache, **kwargs)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = sweep(base, cache=cache, **kwargs)
+        warm_s = time.perf_counter() - t0
+        identical = cold.rows == warm.rows
+        hits = cache.hits
+    return {
+        "cells": len(cold.rows),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "warm_fraction": round(warm_s / cold_s, 4) if cold_s else 0.0,
+        "warm_hits": hits,
+        "rows_identical": identical,
+    }
+
+
+def check_regression(
+    fresh: Dict[str, Any], committed: Dict[str, Any], threshold: float
+) -> List[str]:
+    """Compare fresh kernel events/s against the committed baseline."""
+    problems = []
+    for scheme, entry in committed.items():
+        baseline = entry.get("events_per_s", 0)
+        measured = fresh.get(scheme, {}).get("events_per_s", 0)
+        if baseline and measured < (1.0 - threshold) * baseline:
+            problems.append(
+                f"{scheme}: {measured} events/s is more than "
+                f"{threshold:.0%} below committed baseline {baseline}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools.bench", description="Simulator benchmark driver."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small grid suitable for CI"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if kernel events/s regressed vs the committed baseline",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pool size for the parallel sweep leg (0 = min(4, CPUs))",
+    )
+    parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the sweep and cache legs (kernel throughput only)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = "smoke" if args.smoke else "full"
+    spec = PROFILES[profile]
+    workers = args.workers or min(4, os.cpu_count() or 1)
+
+    committed: Dict[str, Any] = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            committed = json.load(fh)
+
+    print(f"profile={profile}  workers={workers}")
+    print("kernel throughput (B0 step loop, CPU time, best of "
+          f"{spec['kernel_repeats']}):")
+    kernel = bench_kernel(spec["kernel"], spec["kernel_repeats"])
+    for scheme, entry in kernel.items():
+        print(
+            f"  {scheme:16s} {entry['events']:>8d} events  "
+            f"{entry['cpu_s']:>7.3f}s cpu  {entry['events_per_s']:>8d} ev/s"
+        )
+
+    section: Dict[str, Any] = {"kernel": kernel}
+    if profile == "full":
+        section["kernel_before"] = {
+            scheme: {"events_per_s": value} for scheme, value in BEFORE_FULL.items()
+        }
+
+    if not args.no_sweep:
+        sweep_result = bench_sweep(spec["sweep"], workers)
+        print(
+            f"sweep: {sweep_result['cells']} cells  "
+            f"serial {sweep_result['serial_s']}s  "
+            f"parallel(x{workers}) {sweep_result['parallel_s']}s  "
+            f"speedup {sweep_result['speedup']}x  "
+            f"rows identical: {sweep_result['rows_identical']}"
+        )
+        cache_result = bench_cache(spec["sweep"])
+        print(
+            f"cache: cold {cache_result['cold_s']}s  "
+            f"warm {cache_result['warm_s']}s  "
+            f"warm/cold {cache_result['warm_fraction']}  "
+            f"hits {cache_result['warm_hits']}"
+        )
+        section["sweep"] = sweep_result
+        section["cache"] = cache_result
+        if not sweep_result["rows_identical"]:
+            print("error: parallel sweep rows differ from serial", file=sys.stderr)
+            return 1
+        if not cache_result["rows_identical"]:
+            print("error: warm cache rows differ from cold run", file=sys.stderr)
+            return 1
+
+    failures: List[str] = []
+    if args.check:
+        baseline = committed.get("profiles", {}).get(profile, {}).get("kernel", {})
+        if not baseline:
+            print(
+                f"--check: no committed {profile!r} baseline in {args.out}; "
+                "recording fresh numbers instead",
+                file=sys.stderr,
+            )
+        failures = check_regression(kernel, baseline, args.threshold)
+        for failure in failures:
+            print(f"REGRESSION  {failure}", file=sys.stderr)
+
+    document = committed if committed.get("schema") == SCHEMA else {"schema": SCHEMA}
+    document.setdefault("profiles", {})[profile] = section
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
