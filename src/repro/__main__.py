@@ -19,6 +19,7 @@ import argparse
 import json
 import sys
 
+from .faults import FaultPlan
 from .harness import SCHEMES, Scenario, render_table, run_cells
 from .traffic import HotspotLoad
 
@@ -55,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta-low", type=float, default=1.0)
     p.add_argument("--theta-high", type=float, default=3.0)
     p.add_argument("--window", type=float, default=30.0)
+    p.add_argument(
+        "--faults", type=float, default=None, metavar="P",
+        help="inject uniform message loss with probability P (enables "
+        "the hardened protocol stack: ack/retry/dedup); fine-grained "
+        "fault plans go in a --config file's \"faults\" section",
+    )
     p.add_argument("--json", action="store_true", help="JSON output")
     p.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -94,8 +101,12 @@ def scenario_from_args(args, scheme: str) -> Scenario:
             hot_cells=args.hotspot,
             hot_rate=args.hot_load / args.holding,
         )
+    faults = (
+        FaultPlan.uniform_loss(args.faults) if args.faults is not None else None
+    )
     return Scenario(
         scheme=scheme,
+        faults=faults,
         rows=args.rows,
         cols=args.cols,
         num_channels=args.channels,
@@ -130,6 +141,10 @@ def report_dict(report) -> dict:
         "xi": report.xi,
         "fairness_index": report.fairness_index,
         "violations": report.violations,
+        "faults_injected": sum(report.faults_injected.values()),
+        "faults_recovered": sum(report.faults_recovered.values()),
+        "retries": report.retries,
+        "retry_exhausted": report.retry_exhausted,
     }
 
 
@@ -155,6 +170,10 @@ def main(argv=None) -> int:
         scenarios = [base.with_(scheme=s, seed=args.seed) for s in schemes]
     else:
         scenarios = [scenario_from_args(args, s) for s in schemes]
+
+    if args.faults is not None and (args.config or args.preset):
+        plan = FaultPlan.uniform_loss(args.faults)
+        scenarios = [s.with_(faults=plan) for s in scenarios]
 
     if args.dump_config:
         print(scenarios[0].to_json())

@@ -375,7 +375,7 @@ class AdaptiveMSS(MSS):
                     # Predictor refused (θ_l = 0 configurations); the
                     # request still needs neighbor state — force it.
                     self._enter_borrowing()
-                yield self._last_status_collector.done
+                yield from self._await_round(self._last_status_collector)
                 continue
 
             # ---- borrowing mode (Fig. 2 else-branch) ----
@@ -408,10 +408,10 @@ class AdaptiveMSS(MSS):
         self._collector = Collector(self.env, self.IN)
         self._collector_round = round_id
         self._broadcast(Request(ReqType.UPDATE, channel, ts, self.cell, round_id))
-        verdicts = yield self._collector.done
+        verdicts, complete = yield from self._await_round(self._collector)
         self._collector = None
 
-        if all(v is ResType.GRANT for v in verdicts.values()):
+        if complete and all(v is ResType.GRANT for v in verdicts.values()):
             self._acquire(channel)  # mode 2 → BORROW_IDLE, drains DeferQ
             if prev_mode is Mode.LOCAL:
                 # A guarded own-primary round from local mode is
@@ -422,9 +422,18 @@ class AdaptiveMSS(MSS):
             return channel
         # Failure: revert mode and release the granters (Fig. 2).
         self.mode = prev_mode
-        for j, verdict in verdicts.items():
-            if verdict is ResType.GRANT:
-                self._send(j, Release(self.cell, channel))
+        if complete:
+            for j, verdict in verdicts.items():
+                if verdict is ResType.GRANT:
+                    self._send(j, Release(self.cell, channel))
+        else:
+            # Round deadline expired: a missing verdict is treated as a
+            # rejection (safe — we never acquire), but it may be a GRANT
+            # still in flight or already recorded at the responder, so
+            # release to *all* of IN.  RELEASE is idempotent and a no-op
+            # at anyone who never granted, and it clears both the U
+            # mirror entry and the D6 granted_out overlay at granters.
+            self._broadcast(Release(self.cell, channel))
         return None
 
     def _borrow_search(self, ts: Timestamp):
@@ -440,8 +449,17 @@ class AdaptiveMSS(MSS):
         self._broadcast(
             Request(ReqType.SEARCH, NO_CHANNEL, ts, self.cell, round_id)
         )
-        yield self._collector.done
+        _responses, complete = yield from self._await_round(self._collector)
         self._collector = None
+
+        if not complete:
+            # Some neighbor never answered (lost beyond the retry
+            # budget, partitioned, or crashed): the interference view is
+            # stale, so picking any channel could collide — abandon.
+            # The ACQUISITION(NO_CHANNEL) broadcast below still goes out
+            # so every responder's ``waiting`` counter is decremented.
+            self._acquire(None)
+            return None
 
         # Each SEARCH response refreshed the corresponding U_j mirror,
         # so the interference view is now a consistent snapshot of the
@@ -662,18 +680,44 @@ class AdaptiveMSS(MSS):
 
     def _respond_search(self, sender: int, ts: Timestamp, rid: int) -> None:
         if sender in self._owed_acks:
-            raise AssertionError(
-                f"cell {self.cell}: second search response to {sender} "
-                f"before its ACQUISITION"
-            )
+            if self.hardening is None:
+                raise AssertionError(
+                    f"cell {self.cell}: second search response to {sender} "
+                    f"before its ACQUISITION"
+                )
+            # The sender's previous search concluded but its ACQUISITION
+            # to us was lost beyond the retry budget; a *new* search
+            # from the same sender implicitly acknowledges the old one.
+            self.env.emit("wait.unblock", (self.cell, sender))
+            del self._owed_acks[sender]
         self._owed_acks[sender] = ts
         if self.pending:
             # Our own request is parked on the gate; this new owed ack
             # extends the park, so it is a live wait-for edge.
             self.env.emit("wait.block", (self.cell, sender, "gate", ts))
+        if self.hardening is not None:
+            # Backstop for a terminally lost ACQUISITION: clear the owed
+            # entry after ack_timeout (sized so the search has certainly
+            # ended by then) rather than blocking this node's own
+            # requests forever.  Safe for Theorem 1 case 1(c): by expiry
+            # the searcher's pick is long since made (or abandoned), so
+            # sequentializing against it is moot.
+            timer = self.env.timeout(self.hardening.ack_timeout, (sender, ts))
+            timer.callbacks.append(self._owed_ack_expire)
         self._send(
             sender, Response(ResType.SEARCH, self.cell, frozenset(self.use), rid)
         )
+
+    def _owed_ack_expire(self, event) -> None:
+        sender, ts = event._value
+        if self._owed_acks.get(sender) != ts:
+            return  # acknowledged (or superseded) in time
+        del self._owed_acks[sender]
+        self.stale_responses += 1
+        self.env.emit("fault.ack_timeout", (self.cell, sender))
+        self.env.emit("wait.unblock", (self.cell, sender))
+        if not self._owed_acks:
+            self._gate.pulse()
 
     def _on_Response(self, msg: Response) -> None:
         if msg.res_type is ResType.STATUS:
@@ -722,6 +766,12 @@ class AdaptiveMSS(MSS):
         self._check_mode()
         if msg.acq_type is AcqType.SEARCH:
             if msg.sender not in self._owed_acks:
+                if self.hardening is not None:
+                    # The owed entry was already cleared — by the
+                    # ack-timeout backstop, a crash wipe, or a newer
+                    # search from the same sender.  Late but harmless.
+                    self.stale_responses += 1
+                    return
                 raise AssertionError(
                     f"cell {self.cell}: search ACQUISITION from {msg.sender} "
                     f"without an owed response"
@@ -735,3 +785,52 @@ class AdaptiveMSS(MSS):
         self.U[msg.sender].discard(msg.channel)
         self.granted_out[msg.sender].discard(msg.channel)
         self._check_mode()
+
+    # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    def _crash_hook(self, lose_state: bool) -> None:
+        # Any in-flight round is void: its collector will never complete
+        # (the network drops our deliveries while down), and the parked
+        # request generator resolves through its hardened round deadline.
+        if self._collector is not None:
+            self._collector.cancel()
+        for collector in self._status_collectors.values():
+            collector.cancel()
+        self._status_collectors.clear()
+        # Deferred requesters must not wait on a dead station; dropping
+        # the entries (with the matching wait-graph edge removals) lets
+        # their own round deadlines resolve them.
+        while self.DeferQ:
+            _req_type, _q, _ts, j, _rid = self.DeferQ.popleft()
+            self.env.emit("wait.unblock", (j, self.cell))
+        if lose_state:
+            # Cold restart: every volatile structure is gone.  The U /
+            # granted_out mirrors are rebuilt by the restart re-sync;
+            # owed acknowledgements are dropped (their searchers' own
+            # protection is the ack-timeout backstop on their side).
+            for j in self.IN:
+                self.U[j].replace(())
+                self.granted_out[j].replace(())
+            self.UpdateS.clear()
+            for sender in tuple(self._owed_acks):
+                del self._owed_acks[sender]
+                self.env.emit("wait.unblock", (self.cell, sender))
+            self._gate.pulse()
+            self.nfc = NFCWindow(self.window, initial=len(self.PR))
+
+    def _restart_hook(self) -> None:
+        # Neighborhood re-sync: Fig. 5 answers *every* CHANGE_MODE with
+        # a STATUS response carrying the responder's current Use set, so
+        # a mode-0 broadcast (which also clears any stale membership of
+        # this cell in the neighbors' UpdateS sets) rebuilds all U_j
+        # mirrors without claiming to be borrowing.
+        self.mode = Mode.LOCAL
+        round_id = self._next_round()
+        collector = Collector(self.env, self.IN)
+        self._status_collectors[round_id] = collector
+        collector.done.callbacks.append(
+            lambda _ev, rid=round_id: self._status_collectors.pop(rid, None)
+        )
+        self._last_status_collector = collector
+        self._broadcast(ChangeMode(0, self.cell, round_id))

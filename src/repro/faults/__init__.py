@@ -1,0 +1,43 @@
+"""Fault injection for the message fabric, plus protocol hardening.
+
+The paper (and every scheme reproduced here) assumes a perfectly
+reliable FIFO network: messages are delayed but never lost, duplicated
+or reordered beyond the latency model, and an MSS never crashes.  This
+subpackage removes that assumption *measurably*:
+
+* :class:`FaultPlan` — a declarative, seeded description of the faults
+  to inject: per-message drop / duplicate / extra-delay / reorder
+  probabilities, scheduled link partitions between cell pairs, and MSS
+  crash–restart windows with configurable state loss.  Plans serialize
+  inside :class:`~repro.harness.config.Scenario`, so faulty runs are
+  cacheable and reproducible like any other experiment cell.
+* :class:`FaultInjector` — hooks a plan into the
+  :class:`~repro.sim.network.Network` send/delivery path through a
+  narrow interface (``network.injector``), draws every fault decision
+  from a dedicated seeded stream, and reports each injected fault on
+  the probe bus (``env.emit("fault.*", ...)``) and to the metrics
+  collector.
+* :class:`Hardening` / the ARQ layer (:mod:`repro.faults.arq`) — the
+  protocol-side counterpart: per-message acknowledgement timeouts
+  sized from the latency model's ``max_delay``, bounded retransmission
+  with exponential backoff, duplicate suppression keyed on the
+  network's monotonically increasing ``Envelope.msg_id``, and the
+  round deadlines / crash-recovery re-sync used by the MSS classes.
+
+With no plan configured (the default) none of this is wired in and the
+simulator's behavior is bit-identical to the fault-free system.
+"""
+
+from .arq import Ack, Hardening, ReliableLink
+from .injector import FaultInjector
+from .plan import CrashWindow, FaultPlan, LinkPartition
+
+__all__ = [
+    "Ack",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "Hardening",
+    "LinkPartition",
+    "ReliableLink",
+]

@@ -13,6 +13,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
+from ..faults import FaultPlan
 from ..traffic.patterns import (
     HotspotLoad,
     LoadPattern,
@@ -112,6 +113,13 @@ class Scenario:
     # -- baseline parameters -------------------------------------------------------
     max_attempts: int = 25
 
+    # -- fault injection --------------------------------------------------------
+    #: Fault plan (see ``repro.faults``): message loss/duplication/
+    #: delay/reorder probabilities, link partitions and MSS crash
+    #: windows, plus the hardening knobs.  None (default) or a plan
+    #: with nothing to inject runs the original reliable network.
+    faults: Optional[FaultPlan] = None
+
     # -- bookkeeping ------------------------------------------------------------
     seed: int = 1
     monitor_policy: str = "raise"
@@ -147,6 +155,9 @@ class Scenario:
         data = asdict(self)
         if self.pattern is not None:
             data["pattern"] = _pattern_to_dict(self.pattern)
+        # asdict recursed into the plan; replace with the canonical form
+        # (lists, not tuples) so cache keys and JSON round-trips agree.
+        data["faults"] = self.faults.to_dict() if self.faults is not None else None
         return data
 
     @classmethod
@@ -159,6 +170,10 @@ class Scenario:
             raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
         if data.get("pattern") is not None:
             data["pattern"] = _pattern_from_dict(data["pattern"])
+        if data.get("faults") is not None and not isinstance(
+            data["faults"], FaultPlan
+        ):
+            data["faults"] = FaultPlan.from_dict(data["faults"])
         if data.get("channels_per_color") is not None:
             # JSON object keys are strings; restore integer colors.
             data["channels_per_color"] = {

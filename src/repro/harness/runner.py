@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional, Type
 
 from ..cellular import CellularTopology
 from ..core import AdaptiveMSS
+from ..faults import FaultInjector, Hardening
 from ..metrics import MetricsCollector
 from ..protocols import (
     AdvancedUpdateMSS,
@@ -63,6 +64,8 @@ class Simulation:
     #: Runtime sanitizers (attached when a default policy is active,
     #: e.g. under pytest; None otherwise).
     sanitizers: Optional[SanitizerSuite] = None
+    #: Fault injector (present iff the scenario has an enabled plan).
+    injector: Optional[FaultInjector] = None
 
     def run(self) -> "Report":
         """Run to the scenario horizon and build the report."""
@@ -111,6 +114,11 @@ class Report:
     #: neighbors at local acquisitions (the paper's N_borrow); 0 for
     #: other schemes.
     measured_n_borrow: float = 0.0
+    # Fault-injection accounting (all zero / empty without a plan).
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    faults_recovered: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    retry_exhausted: int = 0
     # Kept for custom post-processing.
     metrics: MetricsCollector = field(repr=False, default=None)
 
@@ -156,6 +164,10 @@ class Report:
             measured_n_borrow=(
                 local_notify / local_acquires if local_acquires else 0.0
             ),
+            faults_injected=dict(m.faults_injected),
+            faults_recovered=dict(m.faults_recovered),
+            retries=m.retries,
+            retry_exhausted=m.retry_exhausted,
             metrics=m,
         )
 
@@ -188,6 +200,13 @@ class Report:
             f"  fairness index: {self.fairness_index:.4f}  "
             f"violations: {self.violations}",
         ]
+        if self.faults_injected:
+            lines.append(
+                f"  faults: {sum(self.faults_injected.values())} injected, "
+                f"{sum(self.faults_recovered.values())} recovered, "
+                f"{self.retries} retries "
+                f"({self.retry_exhausted} exhausted)"
+            )
         return "\n".join(lines)
 
 
@@ -230,8 +249,29 @@ def build_simulation(scenario: Scenario) -> Simulation:
         else None
     )
 
+    # Fault injection + protocol hardening: wired only for a plan that
+    # actually injects something, so a disabled/absent plan runs the
+    # original reliable-network code paths event-for-event.
+    injector: Optional[FaultInjector] = None
+    hardening: Optional[Hardening] = None
+    plan = scenario.faults
+    if plan is not None and plan.enabled:
+        injector = FaultInjector(
+            env,
+            plan,
+            streams.stream("faults", "net"),
+            network.latency,
+            metrics,
+        )
+        network.injector = injector
+        hardening = Hardening.from_plan(
+            plan, network.latency.max_delay + plan.max_extra_delay()
+        )
+
     cls = SCHEMES[scenario.scheme]
     kwargs: Dict[str, Any] = dict(scenario.extra_params)
+    if hardening is not None:
+        kwargs["hardening"] = hardening
     if cls is AdaptiveMSS:
         kwargs.setdefault("alpha", scenario.alpha)
         kwargs.setdefault("theta_low", scenario.theta_low)
@@ -247,6 +287,8 @@ def build_simulation(scenario: Scenario) -> Simulation:
         )
     for station in stations.values():
         station.start()
+    if injector is not None:
+        injector.install(stations)
 
     source = TrafficSource(
         env,
@@ -271,6 +313,7 @@ def build_simulation(scenario: Scenario) -> Simulation:
         source=source,
         streams=streams,
         sanitizers=sanitizers,
+        injector=injector,
     )
 
 

@@ -46,6 +46,17 @@ class MetricsCollector:
         self._message_baseline: Dict[str, int] = {}
         self._message_baseline_total = 0
         self._baseline_taken = False
+        #: Injected faults by kind ("drop", "duplicate", "delay",
+        #: "reorder", "partition", "crash", "crash_drop", "restart") —
+        #: fed by the fault injector; empty without an active plan.
+        self.faults_injected: Dict[str, int] = {}
+        #: Faults the hardening layer recovered from, by kind (currently
+        #: "retransmit": a retransmitted message that was acknowledged).
+        self.faults_recovered: Dict[str, int] = {}
+        #: ARQ retransmissions sent.
+        self.retries = 0
+        #: Messages abandoned after exhausting the retry budget.
+        self.retry_exhausted = 0
 
     # -- recording (called by the protocol/traffic layers) -----------------
     def record_acquisition(self, **kwargs) -> None:
@@ -56,6 +67,30 @@ class MetricsCollector:
     def record_release(self, cell: int, channel: int, time: float) -> None:
         if time >= self.warmup:
             self.releases += 1
+
+    def record_fault(self, kind: str) -> None:
+        """One injected fault (called by the fault injector)."""
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    def record_fault_recovery(self, kind: str) -> None:
+        """One fault the hardening layer recovered from."""
+        self.faults_recovered[kind] = self.faults_recovered.get(kind, 0) + 1
+
+    def record_retry(self) -> None:
+        """One ARQ retransmission."""
+        self.retries += 1
+
+    def record_retry_exhausted(self) -> None:
+        """One message given up on after the full retry budget."""
+        self.retry_exhausted += 1
+
+    @property
+    def total_faults_injected(self) -> int:
+        return sum(self.faults_injected.values())
+
+    @property
+    def total_faults_recovered(self) -> int:
+        return sum(self.faults_recovered.values())
 
     def snapshot_message_baseline(self, network) -> None:
         """Capture message counters at the warmup boundary."""

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Any, Dict, FrozenSet, Optional, Set
 
 from ..cellular import CellularTopology
+from ..faults.arq import Ack, DedupFilter, Hardening, ReliableLink
 from ..sim import Environment, Envelope, Network, Resource
 from .messages import Timestamp
 from .monitor import InterferenceMonitor
@@ -59,6 +60,7 @@ class MSS:
         cell: int,
         metrics: Any = None,
         monitor: Optional[InterferenceMonitor] = None,
+        hardening: Optional[Hardening] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -67,6 +69,29 @@ class MSS:
         self.node_id = cell  # network address
         self.metrics = metrics
         self.monitor = monitor
+        #: Unreliable-network hardening (see :mod:`repro.faults`): when
+        #: set, every outgoing protocol message goes through a per-MSS
+        #: ARQ (ack + bounded retransmission) and incoming messages are
+        #: acknowledged and de-duplicated by ``Envelope.msg_id``.  None
+        #: (the default, and always the case without an active fault
+        #: plan) leaves the original reliable-network fast paths fully
+        #: intact.
+        self.hardening = hardening
+        if hardening is not None:
+            self._link: Optional[ReliableLink] = ReliableLink(
+                env, network, cell, hardening, metrics
+            )
+            self._dedup: Optional[DedupFilter] = DedupFilter()
+        else:
+            self._link = None
+            self._dedup = None
+        #: True while this station is crashed (fault injection).
+        self.down = False
+        #: Credits for channels force-released by a crash: the calls
+        #: that held them are gone, but their handles will still call
+        #: :meth:`release_channel` later; each credit silently absorbs
+        #: one such stale release so accounting stays balanced.
+        self._crash_released = 0
 
         #: Channels currently in use by this cell (paper's ``Use_i``).
         self.use: Set[int] = set()
@@ -117,6 +142,20 @@ class MSS:
 
     def _request_channel(self, kind: str, setup_deadline: Optional[float]):
         t_arrival = self.env.now
+        if self.down:
+            # Crashed station: no service (blocked-calls-cleared).
+            if self.metrics is not None:
+                self.metrics.record_acquisition(
+                    cell=self.cell,
+                    kind=kind,
+                    granted=False,
+                    queue_wait=0.0,
+                    acquisition_time=0.0,
+                    attempts=0,
+                    mode="down",
+                    time=t_arrival,
+                )
+            return None
         #: Kind of the request being served ("new"/"handoff"), readable
         #: by protocols implementing admission policies (guard channels).
         self._req_kind = kind
@@ -152,6 +191,16 @@ class MSS:
             self._lock.release()
         t_done = self.env.now
 
+        if channel is not None and self.down:
+            # The station crashed while this acquisition was in flight:
+            # the grant is void.  If the grab happened before the crash,
+            # the crash already force-released it; if after (a round
+            # deadline resumed the generator while down), undo it here.
+            if channel in self.use:
+                self._drop_from_use(channel)
+            else:
+                self._crash_released -= 1  # crash released it; no stale handle
+            channel = None
         if channel is not None:
             if channel not in self.use:
                 raise AssertionError(
@@ -186,6 +235,11 @@ class MSS:
                 del self._alias[channel]
             channel = resolved
         if channel not in self.use:
+            if self._crash_released > 0:
+                # Stale handle of a call whose channel a crash already
+                # force-released; consume one credit and do nothing.
+                self._crash_released -= 1
+                return
             raise ValueError(
                 f"cell {self.cell} does not hold channel {channel}"
             )
@@ -235,19 +289,108 @@ class MSS:
         return self._round_counter
 
     def _send(self, dst: int, payload: Any) -> None:
-        self.network.send(self.cell, dst, payload)
+        if self._link is not None:
+            self._link.send(dst, payload)
+        else:
+            self.network.send(self.cell, dst, payload)
 
     def _broadcast(self, payload: Any, dsts=None) -> int:
         """Send ``payload`` to every cell in ``dsts`` (default: IN_i)."""
         targets = self.IN if dsts is None else dsts
+        if self._link is not None:
+            count = 0
+            for dst in targets:
+                self._link.send(dst, payload)
+                count += 1
+            return count
         return self.network.multicast(self.cell, targets, payload)
+
+    def _await_round(self, collector):
+        """Wait for a response round; returns ``(responses, complete)``.
+
+        Without hardening this is exactly ``yield collector.done`` (the
+        reliable network guarantees completion — event-for-event
+        identical to the historical inline wait).  With hardening the
+        wait is bounded by the round deadline; on expiry the collector
+        is cancelled and the partial responses are returned with
+        ``complete=False`` so the protocol can resolve the round
+        conservatively.
+        """
+        if self.hardening is None:
+            yield collector.done
+            return collector.responses, True
+        deadline = self.env.timeout(self.hardening.round_deadline)
+        yield self.env.any_of([collector.done, deadline])
+        if collector.done.triggered:
+            return collector.responses, True
+        collector.cancel()
+        self.env.emit("fault.round_timeout", (self.cell, sorted(collector.outstanding)))
+        return collector.responses, False
+
+    # ------------------------------------------------------------------
+    # Crash / restart (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def _crash(self, lose_state: bool) -> None:
+        """Fail this station: calls drop, messages stop, state may wipe.
+
+        Every held channel is force-released (the calls carried on it
+        are gone) with a matching ``_crash_released`` credit so the
+        calls' stale :meth:`release_channel` invocations are absorbed.
+        Protocol-specific volatile state is handled by the
+        :meth:`_crash_hook` hook.
+        """
+        self.down = True
+        if self._link is not None:
+            self._link.down = True
+            self._link.flush()
+        for channel in tuple(self.use):
+            self._drop_from_use(channel)
+            self._crash_released += 1
+        self._alias.clear()
+        if lose_state and self._dedup is not None:
+            self._dedup.reset()
+        self._crash_hook(lose_state)
+
+    def _restart(self) -> None:
+        """Bring a crashed station back; triggers :meth:`_restart_hook`
+        (protocols rebuild their neighborhood view there)."""
+        self.down = False
+        if self._link is not None:
+            self._link.down = False
+        self._restart_hook()
+
+    def _crash_hook(self, lose_state: bool) -> None:
+        """Hook: clear protocol-specific volatile state (optional)."""
+
+    def _restart_hook(self) -> None:
+        """Hook: re-synchronize with the neighborhood (optional)."""
 
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
     def on_message(self, envelope: Envelope) -> None:
-        """Route an incoming envelope to ``_on_<PayloadClass>``."""
+        """Route an incoming envelope to ``_on_<PayloadClass>``.
+
+        Under hardening, link-layer traffic is peeled off first: ACKs
+        feed the ARQ, every other message is acknowledged (even when it
+        turns out to be a duplicate — the previous ACK may have been
+        the lost copy) and then de-duplicated by ``msg_id`` so each
+        logical message reaches its handler exactly once.
+        """
         payload = envelope.payload
+        if self._link is not None:
+            if type(payload) is Ack:
+                self._link.on_ack(payload)
+                return
+            if self.down:
+                return  # crashed: the radio is off
+            self.network.send(self.cell, envelope.src, Ack(envelope.msg_id))
+            if not self._dedup.accept(envelope.src, envelope.msg_id):
+                self.env.emit(
+                    "fault.duplicate_suppressed",
+                    (self.cell, envelope.src, envelope.msg_id),
+                )
+                return
         cls = type(payload)
         try:
             handler = self._handlers[cls]

@@ -50,12 +50,19 @@ class BasicSearchMSS(MSS):
         self._collector_round = round_id
 
         self._broadcast(Request(ReqType.SEARCH, NO_CHANNEL, ts, self.cell, round_id))
-        use_sets = yield self._collector.done
+        use_sets, complete = yield from self._await_round(self._collector)
 
-        free = self.spectrum - self.use
-        for use_j in use_sets.values():
-            free -= use_j
-        channel = min(free) if free else None
+        if complete:
+            free = self.spectrum - self.use
+            for use_j in use_sets.values():
+                free -= use_j
+            channel = min(free) if free else None
+        else:
+            # Hardened round deadline expired: with any neighbor's Use
+            # set unknown, no pick is provably safe — abandon (the
+            # deferred responses below still go out, so younger
+            # searchers are not stuck behind us).
+            channel = None
         if channel is not None:
             self._grab(channel)
 

@@ -78,11 +78,16 @@ class BasicUpdateMSS(MSS):
             self._collector = Collector(self.env, self.IN)
             self._collector_round = round_id
             self._broadcast(Request(ReqType.UPDATE, channel, ts, self.cell, round_id))
-            verdicts = yield self._collector.done
+            verdicts, complete = yield from self._await_round(self._collector)
             self._pending = None
             self._collector = None
 
-            all_granted = all(v is ResType.GRANT for v in verdicts.values())
+            # A round that timed out (hardening) counts every missing
+            # verdict as a rejection: grants in this scheme record no
+            # state at the granter, so simply retrying is safe.
+            all_granted = complete and all(
+                v is ResType.GRANT for v in verdicts.values()
+            )
             if all_granted and not self._abort:
                 self._grab(channel)
                 self._broadcast(Acquisition(AcqType.NON_SEARCH, self.cell, channel))

@@ -45,7 +45,16 @@ class Envelope:
     allocation sites in the simulator.
     """
 
-    __slots__ = ("src", "dst", "payload", "sent_at", "deliver_at", "seq")
+    __slots__ = (
+        "src",
+        "dst",
+        "payload",
+        "sent_at",
+        "deliver_at",
+        "seq",
+        "msg_id",
+        "fault_tag",
+    )
 
     def __init__(
         self,
@@ -55,13 +64,26 @@ class Envelope:
         sent_at: float,
         deliver_at: float = 0.0,
         seq: int = 0,
+        msg_id: int = 0,
+        fault_tag: Optional[str] = None,
     ) -> None:
         self.src = src
         self.dst = dst
         self.payload = payload
         self.sent_at = sent_at
         self.deliver_at = deliver_at
+        #: Scheduling sequence number: every scheduled delivery (including
+        #: injected duplicate copies) gets a fresh one; per-link FIFO
+        #: bookkeeping and the causality sanitizer key on it.
         self.seq = seq
+        #: Logical message identity: monotonically increasing per network,
+        #: *shared* by retransmissions and duplicate copies of the same
+        #: send — the key the hardening layer's dedup filter uses.
+        self.msg_id = msg_id
+        #: None for a normal message; "retrans" / "dup" / "reorder" when
+        #: this copy exists because of the ARQ or the fault injector (the
+        #: causality sanitizer relaxes its checks accordingly).
+        self.fault_tag = fault_tag
 
     @property
     def kind(self) -> str:
@@ -69,10 +91,12 @@ class Envelope:
         return type(self.payload).__name__
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f", fault_tag={self.fault_tag!r}" if self.fault_tag else ""
         return (
             f"Envelope(src={self.src!r}, dst={self.dst!r}, "
             f"payload={self.payload!r}, sent_at={self.sent_at!r}, "
-            f"deliver_at={self.deliver_at!r}, seq={self.seq!r})"
+            f"deliver_at={self.deliver_at!r}, seq={self.seq!r}, "
+            f"msg_id={self.msg_id!r}{tag})"
         )
 
 
@@ -176,6 +200,11 @@ class Network:
         self._nodes: Dict[int, NetworkNode] = {}
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         self._seq = 0
+        self._msg_id = 0
+        #: Optional fault injector (see :mod:`repro.faults`): consulted
+        #: per send for drop/duplicate/delay/reorder decisions and per
+        #: delivery for crashed destinations.  None = perfect network.
+        self.injector: Optional[Any] = None
         #: Total messages sent, by payload type name.
         self.sent_by_kind: Dict[str, int] = {}
         #: Total messages sent overall.
@@ -206,11 +235,17 @@ class Network:
         dst: int,
         payload: Any,
         delay_override: Optional[float] = None,
+        msg_id: Optional[int] = None,
+        fault_tag: Optional[str] = None,
     ) -> Envelope:
         """Send ``payload`` from ``src`` to ``dst``; returns the envelope.
 
         ``delay_override`` forces a specific latency for this message
         (used by adversarial scenario construction, e.g. Figure 11).
+        ``msg_id`` pins the logical message identity (retransmissions
+        reuse the original's, so receiver dedup recognizes them); by
+        default a fresh per-network id is assigned.  ``fault_tag``
+        labels ARQ retransmissions for the sanitizers.
         """
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
@@ -224,6 +259,10 @@ class Network:
             delay = latency.T
         else:
             delay = latency.sample(src, dst)
+        if msg_id is None:
+            self._msg_id = msg_id = self._msg_id + 1
+        if self.injector is not None:
+            return self._send_faulty(src, dst, payload, delay, msg_id, fault_tag)
         deliver_at = now + delay
         if self.fifo:
             link = (src, dst)
@@ -242,7 +281,7 @@ class Network:
             last_delivery[link] = deliver_at
 
         self._seq = seq = self._seq + 1
-        env_msg = Envelope(src, dst, payload, now, deliver_at, seq)
+        env_msg = Envelope(src, dst, payload, now, deliver_at, seq, msg_id, fault_tag)
         self.total_sent += 1
         kind = type(payload).__name__
         counts = self.sent_by_kind
@@ -256,8 +295,72 @@ class Network:
         delivery.callbacks.append(self._deliver)
         return env_msg
 
+    def _send_faulty(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        delay: float,
+        msg_id: int,
+        fault_tag: Optional[str],
+    ) -> Envelope:
+        """Slow path: route the send through the fault injector.
+
+        The injector turns one logical send into zero (dropped /
+        partitioned / crashed endpoint), one, or two (duplicated)
+        scheduled deliveries.  Send-side accounting — counters, hooks,
+        the ``net.send`` probe — happens exactly once per logical send
+        regardless, so message-overhead metrics keep counting protocol
+        messages, not injector artifacts.
+        """
+        env = self.env
+        now = env._now
+        actions = self.injector.filter_send(src, dst, payload, delay, fault_tag)
+        primary: Optional[Envelope] = None
+        last_delivery = self._last_delivery
+        link = (src, dst)
+        for copy_delay, tag, clamp in actions:
+            deliver_at = now + copy_delay
+            if self.fifo and clamp:
+                floor = last_delivery.get(link, 0.0)
+                if deliver_at < floor:
+                    deliver_at = floor
+                # Same one-ulp guard as the fast path: the scheduled
+                # time must respect the floor (reordered copies skip the
+                # clamp *and* the floor update — they are allowed to
+                # overtake without dragging later messages with them).
+                while now + (deliver_at - now) < floor:
+                    deliver_at = math.nextafter(deliver_at, math.inf)
+                deliver_at = now + (deliver_at - now)
+                last_delivery[link] = deliver_at
+            self._seq = seq = self._seq + 1
+            env_msg = Envelope(src, dst, payload, now, deliver_at, seq, msg_id, tag)
+            if primary is None:
+                primary = env_msg
+            delivery = env.timeout(deliver_at - now, env_msg)
+            delivery.callbacks.append(self._deliver)
+        if primary is None:
+            # Dropped at send time: account for the send, deliver nothing.
+            self._seq = seq = self._seq + 1
+            primary = Envelope(src, dst, payload, now, now + delay, seq, msg_id, fault_tag)
+        self.total_sent += 1
+        kind = type(payload).__name__
+        counts = self.sent_by_kind
+        counts[kind] = counts.get(kind, 0) + 1
+        if self.on_send:
+            for hook in self.on_send:
+                hook(primary)
+        env.emit("net.send", primary)
+        return primary
+
     def multicast(self, src: int, dsts: Iterable[int], payload: Any) -> int:
-        """Send ``payload`` to each destination; returns message count."""
+        """Send ``payload`` to each destination; returns message count.
+
+        The destination iterable is snapshotted up front so a generator
+        argument cannot be left half-consumed if a send raises (e.g. an
+        unknown node id, or an error injected below ``send``).
+        """
+        dsts = tuple(dsts)
         count = 0
         for dst in dsts:
             self.send(src, dst, payload)
@@ -266,6 +369,8 @@ class Network:
 
     def _deliver(self, event: Any) -> None:
         env_msg: Envelope = event._value
+        if self.injector is not None and not self.injector.deliverable(env_msg):
+            return
         if self.on_deliver:
             for hook in self.on_deliver:
                 hook(env_msg)

@@ -106,6 +106,13 @@ class CausalityChecker(Sanitizer):
                 )
             )
         payload = envelope.payload
+        if envelope.fault_tag is not None:
+            # ARQ retransmissions and injector copies re-send payloads
+            # whose round bookkeeping already happened at the original
+            # send (and an injected reorder may carry a reply out of
+            # clamp); they are not protocol actions — skip the
+            # reply-matching for them.
+            return
         if isinstance(payload, REPLY_TYPES):
             key = (envelope.dst, payload.round_id)
             open_rounds = self._open_rounds.get(envelope.src)
@@ -126,6 +133,13 @@ class CausalityChecker(Sanitizer):
     def _on_deliver(self, now: float, envelope: Envelope) -> None:
         self.messages_checked += 1
         if self.check_fifo:
+            if envelope.fault_tag is not None:
+                # An injected reorder legitimately overtakes (and must
+                # not drag the link's FIFO watermark forward); clamped
+                # retransmissions/duplicates are in order but carry
+                # later sequence numbers than the untagged stream, so
+                # they neither need checking nor advance the watermark.
+                return
             link = (envelope.src, envelope.dst)
             last = self._delivered_seq.get(link, 0)
             if envelope.seq < last:

@@ -194,6 +194,67 @@ def test_sim004_silent_on_definitions_and_sends(tmp_path):
     assert check_file(path) == []
 
 
+# ------------------------------------------------------------------ SIM005 ----
+def test_sim005_fires_on_bare_except_in_handler(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/protocols/x.py",
+        """
+        class P:
+            def _on_Request(self, msg):
+                try:
+                    self.grant(msg)
+                except:
+                    pass
+
+            def on_message(self, env):
+                try:
+                    self.dispatch(env)
+                except Exception:
+                    pass
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM005", "SIM005"]
+
+
+def test_sim005_silent_on_specific_and_handled_exceptions(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/core/x.py",
+        """
+        class P:
+            def _on_Request(self, msg):
+                try:
+                    self.grant(msg)
+                except ValueError:
+                    self.reject(msg)
+
+            def on_message(self, env):
+                try:
+                    self.dispatch(env)
+                except Exception:
+                    self.log(env)  # not swallowed: acted upon
+                    raise
+        """,
+    )
+    assert check_file(path) == []
+
+
+def test_sim005_silent_outside_handlers(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/protocols/x.py",
+        """
+        def helper():
+            try:
+                risky()
+            except:
+                pass
+        """,
+    )
+    assert check_file(path) == []
+
+
 # ------------------------------------------------------------- suppression ----
 def test_noqa_suppresses_named_rule(tmp_path):
     path = write(

@@ -1,0 +1,113 @@
+"""Chaos smoke test: short lossy-network sweep with sanitizers raising.
+
+Runs every paper scheme on a hot-spot workload over an unreliable
+network (uniform message loss, default 5%) with the full sanitizer
+suite in ``raise`` mode, and fails if
+
+* any sanitizer trips (deadlock, causality, quiescence), or
+* any mutual-exclusion (co-channel interference) violation is recorded, or
+* the hardened stack never actually recovers a lost message
+  (``faults_recovered == 0`` would mean the ARQ layer is dead code).
+
+This is deliberately small — a CI smoke, not a study.  The full loss
+sweep lives in ``benchmarks/test_fault_sweep.py``.
+
+Usage::
+
+    python -m tools.chaos_smoke [--loss 0.05] [--duration 200] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults import FaultPlan
+from repro.harness import Scenario, render_table, run_scenario
+from repro.traffic import HotspotLoad
+from repro.verify import set_default_policy
+
+#: Schemes exercised by the smoke (the paper's four comparison points).
+SCHEMES = ("fixed", "basic_update", "basic_search", "adaptive")
+
+
+def build_scenario(scheme: str, loss: float, duration: float, seed: int) -> Scenario:
+    holding = 60.0
+    return Scenario(
+        scheme=scheme,
+        faults=FaultPlan.uniform_loss(loss),
+        pattern=HotspotLoad(4.0 / holding, [24], 16.0 / holding),
+        offered_load=4.0,
+        mean_holding=holding,
+        duration=duration,
+        warmup=min(50.0, duration / 4),
+        seed=seed,
+    )
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(prog="python -m tools.chaos_smoke")
+    p.add_argument("--loss", type=float, default=0.05,
+                   help="uniform message-loss probability (default 0.05)")
+    p.add_argument("--duration", type=float, default=200.0)
+    p.add_argument("--seed", type=int, default=7)
+    args = p.parse_args(argv)
+
+    # Sanitizers in raise mode: the run aborts on the first deadlock /
+    # causality / quiescence violation instead of recording it.
+    set_default_policy("raise")
+
+    rows = []
+    failures = []
+    for scheme in SCHEMES:
+        scenario = build_scenario(scheme, args.loss, args.duration, args.seed)
+        try:
+            report = run_scenario(scenario)
+        except Exception as exc:  # sanitizer raise = smoke failure
+            failures.append(f"{scheme}: {type(exc).__name__}: {exc}")
+            rows.append([scheme, "-", "-", "-", "-", "CRASHED"])
+            continue
+        injected = sum(report.faults_injected.values())
+        recovered = sum(report.faults_recovered.values())
+        rows.append(
+            [
+                scheme,
+                round(report.drop_rate, 4),
+                round(report.mean_acquisition_time, 3),
+                injected,
+                recovered,
+                report.violations,
+            ]
+        )
+        if report.violations:
+            failures.append(
+                f"{scheme}: {report.violations} mutual-exclusion violations "
+                f"at {args.loss:.0%} loss"
+            )
+        # fixed sends no protocol messages, so there is nothing to
+        # drop and nothing to recover — only the violation gate applies.
+        if scheme != "fixed":
+            if injected == 0:
+                failures.append(f"{scheme}: fault injector injected nothing")
+            if recovered == 0:
+                failures.append(f"{scheme}: no recovered retransmissions")
+
+    print(
+        render_table(
+            ["scheme", "drop", "acq time (T)", "injected", "recovered", "violations"],
+            rows,
+            title=f"chaos smoke: {args.loss:.0%} loss, "
+            f"duration={args.duration}, seed={args.seed}",
+        )
+    )
+    if failures:
+        print("\nFAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: zero violations under loss, recovery machinery active")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -191,10 +191,53 @@ class NoDirectHandlerCall(Rule):
                 )
 
 
+class NoBareExceptInHandlers(Rule):
+    """SIM005: protocol message handlers never swallow errors blindly."""
+
+    code = "SIM005"
+    description = "no bare except (or except Exception: pass) in message handlers"
+    paths = ("src/repro/protocols", "src/repro/core")
+
+    #: Function names treated as message-handling code: the dispatch
+    #: entry point plus every ``_on_<MessageType>`` handler.
+    @staticmethod
+    def _is_handler(func: ast.AST) -> bool:
+        return isinstance(
+            func, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and (func.name == "on_message" or func.name.startswith("_on_"))
+
+    def run(self, tree: ast.Module, ctx: CheckContext) -> Iterator[Match]:
+        for func in ast.walk(tree):
+            if not self._is_handler(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield node, (
+                        f"bare except: in handler {func.name}(); a "
+                        "swallowed protocol error silently corrupts "
+                        "distributed state — catch the specific "
+                        "exception (and re-raise what you can't handle)"
+                    )
+                    continue
+                # `except Exception: pass` is the same trap with extra
+                # keystrokes: every protocol bug becomes a dropped
+                # message.
+                name = ctx.dotted_name(node.type)
+                only_pass = all(isinstance(s, ast.Pass) for s in node.body)
+                if only_pass and name in ("Exception", "BaseException"):
+                    yield node, (
+                        f"except {name}: pass in handler {func.name}(); "
+                        "protocol errors must not be silently dropped"
+                    )
+
+
 #: The active rule registry, in code order.
 RULES: List[Rule] = [
     NoWallClock(),
     NoGlobalRandom(),
     NoDirectUseMutation(),
     NoDirectHandlerCall(),
+    NoBareExceptInHandlers(),
 ]
