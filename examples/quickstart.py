@@ -9,12 +9,27 @@ metrics the paper evaluates: call drop rate, channel acquisition time
 the fraction of acquisitions served in each mode.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace run-artifacts
+
+The optional ``--trace DIR`` switches on the observability layer and
+writes a self-contained run directory (Chrome trace for Perfetto,
+time-series CSV, markdown run report).  docs/TUTORIAL.md walks through
+this script, the trace, and reproducing a paper table step by step.
 """
+
+import argparse
 
 from repro import Scenario, run_scenario
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="write run artifacts (trace, time series, report) to DIR",
+    )
+    args = parser.parse_args()
+
     scenario = Scenario(
         scheme="adaptive",      # try: fixed, basic_search, basic_update,
                                 #      advanced_update, prakash
@@ -26,6 +41,10 @@ def main() -> None:
         warmup=500.0,           # statistics discarded before this
         seed=1,
     )
+    if args.trace:
+        from repro.obs import ObsConfig
+
+        scenario = scenario.with_(obs=ObsConfig())
     report = run_scenario(scenario)
 
     print("Topology:", "7x7 torus, 70 channels, reuse k=7 (|IN| = 18)")
@@ -40,6 +59,14 @@ def main() -> None:
         "Safety: the interference monitor verified every acquisition —",
         f"{report.violations} co-channel violations.",
     )
+    if args.trace:
+        from repro.obs import write_run_artifacts
+
+        files = write_run_artifacts(report, args.trace)
+        print()
+        print(f"Run artifacts in {args.trace}/: {', '.join(files)}")
+        print("Open trace.json at https://ui.perfetto.dev — see "
+              "docs/OBSERVABILITY.md for the format.")
 
 
 if __name__ == "__main__":

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="JSON output")
     p.add_argument(
+        "--trace", type=str, default=None, metavar="DIR",
+        help="enable the observability layer and write run artifacts "
+        "(Chrome trace for Perfetto, time-series CSV/JSON, markdown "
+        "report) into DIR; see docs/OBSERVABILITY.md",
+    )
+    p.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="run scenarios in parallel over N worker processes "
         "(0 = one per CPU); results are identical to serial",
@@ -175,6 +181,16 @@ def main(argv=None) -> int:
         plan = FaultPlan.uniform_loss(args.faults)
         scenarios = [s.with_(faults=plan) for s in scenarios]
 
+    if args.trace is not None:
+        from .obs import ObsConfig
+
+        # Scenarios that already carry an obs config (e.g. from a
+        # --config file) keep it; the flag only switches tracing on.
+        scenarios = [
+            s if s.obs is not None else s.with_(obs=ObsConfig())
+            for s in scenarios
+        ]
+
     if args.dump_config:
         print(scenarios[0].to_json())
         return 0
@@ -183,7 +199,10 @@ def main(argv=None) -> int:
         scenarios,
         workers=args.workers if args.workers > 0 else None,
         cache=False if args.no_cache else None,
+        trace_dir=args.trace,
     )
+    if args.trace is not None:
+        print(f"run artifacts written to {args.trace}/", file=sys.stderr)
 
     if args.json:
         print(json.dumps([report_dict(r) for r in reports], indent=2))

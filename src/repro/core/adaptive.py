@@ -565,6 +565,9 @@ class AdaptiveMSS(MSS):
     def _enter_borrowing(self) -> None:
         self.mode = Mode.BORROW_IDLE
         self.mode_changes += 1
+        self.env.emit(
+            "mode.change", (self.cell, int(Mode.LOCAL), int(Mode.BORROW_IDLE))
+        )
         round_id = self._next_round()
         # Every CHANGE_MODE(1) broadcast registers a STATUS collector so
         # a Fig. 2 local-mode request can wait for the refreshed state.
@@ -579,6 +582,9 @@ class AdaptiveMSS(MSS):
     def _exit_borrowing(self) -> None:
         self.mode = Mode.LOCAL
         self.mode_changes += 1
+        self.env.emit(
+            "mode.change", (self.cell, int(Mode.BORROW_IDLE), int(Mode.LOCAL))
+        )
         round_id = self._next_round()
         self._broadcast(ChangeMode(0, self.cell, round_id))
 

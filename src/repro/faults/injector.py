@@ -26,7 +26,23 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .plan import FaultPlan
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "FAULT_KINDS"]
+
+#: Every fault kind :meth:`FaultInjector._record` can announce on the
+#: probe bus (as ``fault.<kind>``).  The emit site is an f-string, so
+#: this tuple is the machine-readable catalog entry for it — the
+#: probe-bus contract test (tests/test_probe_catalog.py) expands it
+#: against docs/OBSERVABILITY.md.
+FAULT_KINDS = (
+    "drop",
+    "duplicate",
+    "delay",
+    "reorder",
+    "partition",
+    "crash",
+    "crash_drop",
+    "restart",
+)
 
 #: A delivery action: (one-way delay, fault tag, respect-FIFO-clamp).
 Action = Tuple[float, Optional[str], bool]

@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
 from ..faults import FaultPlan
+from ..obs import ObsConfig
 from ..traffic.patterns import (
     HotspotLoad,
     LoadPattern,
@@ -120,6 +121,13 @@ class Scenario:
     #: with nothing to inject runs the original reliable network.
     faults: Optional[FaultPlan] = None
 
+    # -- observability ----------------------------------------------------------
+    #: Observability config (see ``repro.obs``): span tracing, per-cell
+    #: time series and kernel profiling.  None (default) or a disabled
+    #: config attaches nothing — the probe bus stays empty and the
+    #: kernel keeps its no-subscriber fast path.
+    obs: Optional[ObsConfig] = None
+
     # -- bookkeeping ------------------------------------------------------------
     seed: int = 1
     monitor_policy: str = "raise"
@@ -158,6 +166,7 @@ class Scenario:
         # asdict recursed into the plan; replace with the canonical form
         # (lists, not tuples) so cache keys and JSON round-trips agree.
         data["faults"] = self.faults.to_dict() if self.faults is not None else None
+        data["obs"] = self.obs.to_dict() if self.obs is not None else None
         return data
 
     @classmethod
@@ -174,6 +183,10 @@ class Scenario:
             data["faults"], FaultPlan
         ):
             data["faults"] = FaultPlan.from_dict(data["faults"])
+        if data.get("obs") is not None and not isinstance(
+            data["obs"], ObsConfig
+        ):
+            data["obs"] = ObsConfig.from_dict(data["obs"])
         if data.get("channels_per_color") is not None:
             # JSON object keys are strings; restore integer colors.
             data["channels_per_color"] = {

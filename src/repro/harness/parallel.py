@@ -113,6 +113,7 @@ def run_cells(
     scenarios: Sequence[Scenario],
     workers: Optional[int] = 1,
     cache: Any = None,
+    trace_dir: Optional[str] = None,
 ) -> List[Report]:
     """Run every scenario; reports come back in input order.
 
@@ -132,6 +133,15 @@ def run_cells(
         disables, ``True``/path/:class:`ResultCache` select a cache
         explicitly.  Cached cells are served without running (or
         spawning workers) at all.
+    trace_dir:
+        When set, write run artifacts (see
+        :func:`repro.obs.write_run_artifacts`) for every traced report
+        into ``trace_dir/cell-<index>-<scheme>-seed<seed>/`` plus a
+        top-level ``manifest.json``.  Writing happens in the parent,
+        in cell-index order, after every worker finished — so the
+        directory layout is deterministic regardless of worker count.
+        Cells whose scenario has no enabled ``obs`` config are listed
+        in the manifest as untraced and produce no subdirectory.
 
     Raises
     ------
@@ -177,7 +187,45 @@ def run_cells(
             for result in pool.imap_unordered(_run_cell, pending, chunksize=1):
                 consume(result)
 
+    if trace_dir is not None:
+        _write_trace_dir(trace_dir, scenarios, reports)
+
     if failures:
         failures.sort(key=lambda f: f.index)
         raise ExperimentError(failures, reports)
     return reports  # type: ignore[return-value]  # all cells succeeded
+
+
+def _write_trace_dir(
+    trace_dir: str,
+    scenarios: List[Scenario],
+    reports: List[Optional[Report]],
+) -> None:
+    """Merge worker-local observability data into one artifact tree.
+
+    ObsData travels back from the workers pickled inside each Report,
+    so this runs entirely in the parent and in index order: the output
+    is byte-deterministic for any worker count (modulo the wall-clock
+    columns of the kernel profile, which are nondeterministic by
+    nature).
+    """
+    from ..obs import write_manifest, write_run_artifacts
+
+    entries = []
+    for index, (scenario, report) in enumerate(zip(scenarios, reports)):
+        name = f"cell-{index:03d}-{scenario.scheme}-seed{scenario.seed}"
+        entry = {
+            "index": index,
+            "scheme": scenario.scheme,
+            "seed": scenario.seed,
+            "dir": None,
+            "status": "failed" if report is None else "ok",
+        }
+        if report is not None and getattr(report, "obs", None) is not None:
+            files = write_run_artifacts(
+                report, os.path.join(trace_dir, name)
+            )
+            entry["dir"] = name
+            entry["files"] = files
+        entries.append(entry)
+    write_manifest(trace_dir, entries)

@@ -15,6 +15,7 @@ from ..cellular import CellularTopology
 from ..core import AdaptiveMSS
 from ..faults import FaultInjector, Hardening
 from ..metrics import MetricsCollector
+from ..obs import ObsData, Observer
 from ..protocols import (
     AdvancedUpdateMSS,
     BasicSearchMSS,
@@ -66,6 +67,8 @@ class Simulation:
     sanitizers: Optional[SanitizerSuite] = None
     #: Fault injector (present iff the scenario has an enabled plan).
     injector: Optional[FaultInjector] = None
+    #: Observability collectors (present iff ``scenario.obs`` is enabled).
+    observer: Optional[Observer] = None
 
     def run(self) -> "Report":
         """Run to the scenario horizon and build the report."""
@@ -119,6 +122,10 @@ class Report:
     faults_recovered: Dict[str, int] = field(default_factory=dict)
     retries: int = 0
     retry_exhausted: int = 0
+    #: Observability data (spans, series, kernel vitals) when the run
+    #: was traced; see ``repro.obs``.  Plain data: pickles through the
+    #: worker pool and the result cache unchanged.
+    obs: Optional[ObsData] = field(repr=False, default=None)
     # Kept for custom post-processing.
     metrics: MetricsCollector = field(repr=False, default=None)
 
@@ -168,6 +175,9 @@ class Report:
             faults_recovered=dict(m.faults_recovered),
             retries=m.retries,
             retry_exhausted=m.retry_exhausted,
+            obs=(
+                sim.observer.collect() if sim.observer is not None else None
+            ),
             metrics=m,
         )
 
@@ -302,6 +312,20 @@ def build_simulation(scenario: Scenario) -> Simulation:
         streams,
         horizon=scenario.duration,
     )
+
+    # Observability: attached last so its probe subscriptions see the
+    # fully wired stack.  With no (enabled) obs config, nothing here
+    # subscribes and the kernel's no-probe fast path stays active.
+    observer: Optional[Observer] = None
+    if scenario.obs is not None and scenario.obs.enabled:
+        observer = Observer(
+            env,
+            stations,
+            scenario.obs,
+            duration=scenario.duration,
+            network=network,
+        )
+
     return Simulation(
         scenario=scenario,
         env=env,
@@ -314,6 +338,7 @@ def build_simulation(scenario: Scenario) -> Simulation:
         streams=streams,
         sanitizers=sanitizers,
         injector=injector,
+        observer=observer,
     )
 
 

@@ -6,18 +6,21 @@ clearest way to *see* the paper's central mechanism (cells switching
 modes to track their own load) in action.
 
 Glyphs: ``.`` local, ``b`` borrowing-idle, ``U`` update round in
-flight, ``S`` search in flight.
+flight, ``S`` search in flight, ``?`` anything else (unknown or
+transient mode values sample as :data:`repro.obs.UNKNOWN_MODE` instead
+of raising — the glyph map is shared with the observability layer's
+run reports, see ``repro.obs.timeseries``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..obs.timeseries import MODE_GLYPHS as _GLYPHS
+from ..obs.timeseries import coerce_mode
 from ..sim import Environment
 
 __all__ = ["ModeSampler"]
-
-_GLYPHS = {0: ".", 1: "b", 2: "U", 3: "S"}
 
 
 class ModeSampler:
@@ -54,7 +57,7 @@ class ModeSampler:
             self.times.append(self.env.now)
             for cell, station in self.stations.items():
                 mode = getattr(station, "mode", 0)
-                self.samples[cell].append(int(mode))
+                self.samples[cell].append(coerce_mode(mode))
             yield self.env.timeout(self.interval)
 
     # -- analysis ------------------------------------------------------------
@@ -63,7 +66,8 @@ class ModeSampler:
         values = self.samples[cell]
         if not values:
             return 0.0
-        return sum(1 for v in values if v != 0) / len(values)
+        # v > 0: unknown modes (coerced to -1) are not borrowing.
+        return sum(1 for v in values if v > 0) / len(values)
 
     def system_borrowing_series(self) -> List[float]:
         """Per-sample fraction of cells in borrowing mode."""
@@ -73,7 +77,7 @@ class ModeSampler:
         out = []
         for i in range(len(self.times)):
             borrowing = sum(
-                1 for c in cells if self.samples[c][i] != 0
+                1 for c in cells if self.samples[c][i] > 0
             )
             out.append(borrowing / len(cells))
         return out

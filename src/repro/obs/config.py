@@ -1,0 +1,77 @@
+"""Observability configuration.
+
+An :class:`ObsConfig` attached to a
+:class:`~repro.harness.config.Scenario` (its ``obs`` field) switches
+the unified observability layer on for that run: the span tracer, the
+per-cell time-series recorder and the kernel profiler (see
+``docs/OBSERVABILITY.md``).  It deliberately contains *collection*
+knobs only — where artifacts land on disk is a runtime decision
+(``run_cells(..., trace_dir=...)`` / ``python -m repro --trace DIR``),
+so two runs that observed the same things hash to the same result-cache
+key regardless of where their artifacts were written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict
+
+__all__ = ["ObsConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe during a run (all off ⇔ no ``obs`` on the scenario).
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  ``False`` behaves exactly like ``obs=None``:
+        no observer object is built and the hot path is untouched.
+    sample_interval:
+        Cadence (simulated time units) of the time-series recorder and
+        the kernel profiler.
+    spans, timeseries, kernel:
+        Per-collector switches.
+    max_spans:
+        Safety cap on recorded acquisition spans; spans beyond the cap
+        are counted (``span_stats["dropped"]``) rather than silently
+        lost.
+    timeline_cells:
+        How many cells the markdown report's ASCII mode timeline shows
+        (the busiest borrowers are picked, deterministically).
+    """
+
+    enabled: bool = True
+    sample_interval: float = 50.0
+    spans: bool = True
+    timeseries: bool = True
+    kernel: bool = True
+    max_spans: int = 1_000_000
+    timeline_cells: int = 12
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self.max_spans < 0:
+            raise ValueError("max_spans cannot be negative")
+        if self.timeline_cells < 1:
+            raise ValueError("timeline_cells must be >= 1")
+
+    def with_(self, **overrides: Any) -> "ObsConfig":
+        """A copy with fields replaced."""
+        return replace(self, **overrides)
+
+    # -- (de)serialization (mirrors Scenario/FaultPlan) --------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; feeds scenario serialization and cache keys."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown obs config fields: {sorted(unknown)}")
+        return cls(**data)

@@ -104,6 +104,7 @@ class MSS:
 
         self._lock = Resource(env, capacity=1)
         self._round_counter = 0
+        self._req_seq = 0  # per-MSS request id (probe-bus span pairing)
         self._req_kind = "new"
         #: Channel-reassignment aliases: when an MSS internally moves a
         #: call from channel b to channel r (repacking), the holder of b
@@ -133,14 +134,23 @@ class MSS:
         earlier requests), the call abandons — blocked-calls-cleared
         semantics, which keeps offered load well defined at overload.
         """
-        self.env.emit("request.begin", self.cell)
+        self._req_seq = req_id = self._req_seq + 1
+        self.env.emit("request.begin", (self.cell, req_id, kind))
+        channel = None
         try:
-            channel = yield from self._request_channel(kind, setup_deadline)
+            channel = yield from self._request_channel(
+                kind, setup_deadline, req_id
+            )
         finally:
-            self.env.emit("request.end", self.cell)
+            # Fires on normal return AND on generator abandonment (the
+            # traffic layer closing a half-driven request, a crashed
+            # process): every opened acquisition span closes exactly once.
+            self.env.emit("request.end", (self.cell, req_id, channel))
         return channel
 
-    def _request_channel(self, kind: str, setup_deadline: Optional[float]):
+    def _request_channel(
+        self, kind: str, setup_deadline: Optional[float], req_id: int
+    ):
         t_arrival = self.env.now
         if self.down:
             # Crashed station: no service (blocked-calls-cleared).
@@ -179,6 +189,10 @@ class MSS:
         else:
             yield lock_req
         t_start = self.env.now
+        # Serving starts now: the queue wait behind earlier requests of
+        # this cell is over (down-station and queue-timeout requests
+        # never reach this point and never serve).
+        self.env.emit("request.serve", (self.cell, req_id))
         ts: Timestamp = (t_start, self.cell)
         self._attempts = 0  # protocols update this as they retry
         try:
@@ -316,15 +330,19 @@ class MSS:
         ``complete=False`` so the protocol can resolve the round
         conservatively.
         """
+        self.env.emit("round.begin", (self.cell, len(collector.outstanding)))
         if self.hardening is None:
             yield collector.done
+            self.env.emit("round.end", (self.cell, True))
             return collector.responses, True
         deadline = self.env.timeout(self.hardening.round_deadline)
         yield self.env.any_of([collector.done, deadline])
         if collector.done.triggered:
+            self.env.emit("round.end", (self.cell, True))
             return collector.responses, True
         collector.cancel()
         self.env.emit("fault.round_timeout", (self.cell, sorted(collector.outstanding)))
+        self.env.emit("round.end", (self.cell, False))
         return collector.responses, False
 
     # ------------------------------------------------------------------

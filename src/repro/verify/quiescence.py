@@ -80,11 +80,16 @@ class QuiescenceChecker(Sanitizer):
             del self.held[cell]
         self.total_releases += 1
 
-    def _on_begin(self, now: float, cell: int) -> None:
+    # ``request.begin``/``request.end`` payloads are tuples whose first
+    # element is the cell (see docs/OBSERVABILITY.md); bare-int payloads
+    # from hand-driven tests are accepted for convenience.
+    def _on_begin(self, now: float, payload) -> None:
+        cell = payload[0] if isinstance(payload, tuple) else payload
         self.open_requests[cell] = self.open_requests.get(cell, 0) + 1
         self.total_requests += 1
 
-    def _on_end(self, now: float, cell: int) -> None:
+    def _on_end(self, now: float, payload) -> None:
+        cell = payload[0] if isinstance(payload, tuple) else payload
         remaining = self.open_requests.get(cell, 0) - 1
         if remaining:
             self.open_requests[cell] = remaining

@@ -1,0 +1,79 @@
+"""Contract test: the probe-bus event catalog is complete.
+
+docs/OBSERVABILITY.md promises to list **every** probe kind emitted
+anywhere under ``src/repro``.  This test greps the source tree for
+``env.emit(...)`` sites, expands the fault injector's one f-string
+emitter via :data:`repro.faults.injector.FAULT_KINDS`, and fails if
+any kind is missing from the catalog (or documented but never
+emitted).  Adding an emit site without documenting it — or renaming a
+kind in only one place — breaks the build, which is the point.
+"""
+
+import re
+from pathlib import Path
+
+from repro.faults.injector import FAULT_KINDS
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+#: Emit sites: .emit("kind", ...) / .emit(f"...", ...), possibly with
+#: the string literal on the line after the paren.
+EMIT_RE = re.compile(r'\.emit\(\s*(f?)"([^"]+)"', re.S)
+
+
+def emitted_kinds():
+    kinds = set()
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        for is_fstring, literal in EMIT_RE.findall(path.read_text()):
+            if "*" in literal:
+                continue  # wildcard in prose (docstring), not an emit site
+            if is_fstring:
+                # The only sanctioned f-string emitter is the fault
+                # injector's `fault.{kind}`; expand it from the
+                # machine-readable kind list it draws from.
+                assert literal == "fault.{kind}", (
+                    f"unexpected f-string emit {literal!r} in {path}: "
+                    "either emit a literal kind or teach this test "
+                    "how to expand it"
+                )
+                kinds.update(f"fault.{k}" for k in FAULT_KINDS)
+            else:
+                kinds.add(literal)
+    return kinds
+
+
+def documented_kinds():
+    # The catalog renders each kind as a backticked table cell.
+    text = DOC.read_text()
+    catalog = text.split("## Probe-bus event catalog", 1)[1]
+    catalog = catalog.split("## Spans", 1)[0]
+    return {
+        m for m in re.findall(r"`([a-z_.]+\.[a-z_.{}]+)`", catalog)
+        if not m.startswith(("repro.", "tests.", "docs."))
+    }
+
+
+def test_every_emitted_kind_is_documented():
+    emitted = emitted_kinds()
+    assert emitted, "found no emit sites — the regex rotted"
+    missing = emitted - documented_kinds()
+    assert not missing, (
+        f"probe kinds emitted but missing from docs/OBSERVABILITY.md's "
+        f"catalog: {sorted(missing)}"
+    )
+
+
+def test_every_documented_kind_is_emitted():
+    stale = documented_kinds() - emitted_kinds() - {"fault.{kind}"}
+    assert not stale, (
+        f"docs/OBSERVABILITY.md catalogs kinds nothing emits: "
+        f"{sorted(stale)}"
+    )
+
+
+def test_fault_kinds_backed_by_constant():
+    # The doc's injector rows must track the FAULT_KINDS constant.
+    docd = {k for k in documented_kinds() if k.startswith("fault.")}
+    for kind in FAULT_KINDS:
+        assert f"fault.{kind}" in docd

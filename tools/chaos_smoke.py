@@ -15,11 +15,18 @@ sweep lives in ``benchmarks/test_fault_sweep.py``.
 Usage::
 
     python -m tools.chaos_smoke [--loss 0.05] [--duration 200] [--seed 7]
+                                [--trace DIR]
+
+``--trace DIR`` additionally runs every scheme with the observability
+layer on and writes one run-artifact directory per scheme under DIR
+(see docs/OBSERVABILITY.md) — in CI these are uploaded so a chaos
+failure comes with its trace attached.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.faults import FaultPlan
@@ -31,8 +38,15 @@ from repro.verify import set_default_policy
 SCHEMES = ("fixed", "basic_update", "basic_search", "adaptive")
 
 
-def build_scenario(scheme: str, loss: float, duration: float, seed: int) -> Scenario:
+def build_scenario(
+    scheme: str, loss: float, duration: float, seed: int, trace: bool = False
+) -> Scenario:
     holding = 60.0
+    obs = None
+    if trace:
+        from repro.obs import ObsConfig
+
+        obs = ObsConfig()
     return Scenario(
         scheme=scheme,
         faults=FaultPlan.uniform_loss(loss),
@@ -42,6 +56,7 @@ def build_scenario(scheme: str, loss: float, duration: float, seed: int) -> Scen
         duration=duration,
         warmup=min(50.0, duration / 4),
         seed=seed,
+        obs=obs,
     )
 
 
@@ -51,6 +66,9 @@ def main(argv=None) -> int:
                    help="uniform message-loss probability (default 0.05)")
     p.add_argument("--duration", type=float, default=200.0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", metavar="DIR", default=None,
+                   help="write per-scheme run artifacts (trace, series, "
+                        "report) under DIR")
     args = p.parse_args(argv)
 
     # Sanitizers in raise mode: the run aborts on the first deadlock /
@@ -59,14 +77,30 @@ def main(argv=None) -> int:
 
     rows = []
     failures = []
-    for scheme in SCHEMES:
-        scenario = build_scenario(scheme, args.loss, args.duration, args.seed)
+    trace_entries = []
+    for index, scheme in enumerate(SCHEMES):
+        scenario = build_scenario(
+            scheme, args.loss, args.duration, args.seed, trace=bool(args.trace)
+        )
         try:
             report = run_scenario(scenario)
         except Exception as exc:  # sanitizer raise = smoke failure
             failures.append(f"{scheme}: {type(exc).__name__}: {exc}")
             rows.append([scheme, "-", "-", "-", "-", "CRASHED"])
+            if args.trace:
+                trace_entries.append(
+                    {"index": index, "scheme": scheme, "seed": args.seed,
+                     "dir": None, "status": "failed"}
+                )
             continue
+        if args.trace:
+            from repro.obs import write_run_artifacts
+
+            files = write_run_artifacts(report, os.path.join(args.trace, scheme))
+            trace_entries.append(
+                {"index": index, "scheme": scheme, "seed": args.seed,
+                 "dir": scheme, "status": "ok", "files": files}
+            )
         injected = sum(report.faults_injected.values())
         recovered = sum(report.faults_recovered.values())
         rows.append(
@@ -100,6 +134,11 @@ def main(argv=None) -> int:
             f"duration={args.duration}, seed={args.seed}",
         )
     )
+    if args.trace:
+        from repro.obs import write_manifest
+
+        write_manifest(args.trace, trace_entries)
+        print(f"\nrun artifacts written to {args.trace}/", file=sys.stderr)
     if failures:
         print("\nFAIL", file=sys.stderr)
         for f in failures:
