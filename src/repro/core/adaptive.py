@@ -512,6 +512,9 @@ class AdaptiveMSS(MSS):
                 else:
                     self._send(j, Response(ResType.GRANT, self.cell, q, rid))
                     self.granted_out[j].add(q)
+                    self.env.emit(
+                        "mirror.update", (self.cell, j, "granted_out", "add", q)
+                    )
             else:
                 self._respond_search(j, _ts, rid)
 
@@ -656,6 +659,9 @@ class AdaptiveMSS(MSS):
     def _grant_update(self, r: int, sender: int, rid: int) -> None:
         self._send(sender, Response(ResType.GRANT, self.cell, r, rid))
         self.granted_out[sender].add(r)
+        self.env.emit(
+            "mirror.update", (self.cell, sender, "granted_out", "add", r)
+        )
         self._check_mode()
 
     def _handle_search_request(self, msg: Request) -> None:
@@ -730,6 +736,9 @@ class AdaptiveMSS(MSS):
             # Full-state refresh: replace (not merge) the mirrored set —
             # this also heals any stale entries (see DESIGN.md §5 note 6).
             self.U[msg.sender].replace(msg.payload)
+            self.env.emit(
+                "mirror.update", (self.cell, msg.sender, "U", "replace", None)
+            )
             collector = self._status_collectors.get(msg.round_id)
             if collector is not None and msg.sender in collector.outstanding:
                 collector.deliver(msg.sender, msg.payload)
@@ -747,6 +756,9 @@ class AdaptiveMSS(MSS):
                 # Search responses carry the responder's full Use set:
                 # replace our mirror, then hand it to the waiting round.
                 self.U[msg.sender].replace(msg.payload)
+                self.env.emit(
+                    "mirror.update", (self.cell, msg.sender, "U", "replace", None)
+                )
                 self._collector.deliver(msg.sender, frozenset(msg.payload))
             else:
                 self._collector.deliver(msg.sender, msg.res_type)
@@ -768,7 +780,14 @@ class AdaptiveMSS(MSS):
     def _on_Acquisition(self, msg: Acquisition) -> None:
         if msg.channel != NO_CHANNEL:
             self.U[msg.sender].add(msg.channel)
+            self.env.emit(
+                "mirror.update", (self.cell, msg.sender, "U", "add", msg.channel)
+            )
             self.granted_out[msg.sender].discard(msg.channel)
+            self.env.emit(
+                "mirror.update",
+                (self.cell, msg.sender, "granted_out", "discard", msg.channel),
+            )
         self._check_mode()
         if msg.acq_type is AcqType.SEARCH:
             if msg.sender not in self._owed_acks:
@@ -789,7 +808,14 @@ class AdaptiveMSS(MSS):
 
     def _on_Release(self, msg: Release) -> None:
         self.U[msg.sender].discard(msg.channel)
+        self.env.emit(
+            "mirror.update", (self.cell, msg.sender, "U", "discard", msg.channel)
+        )
         self.granted_out[msg.sender].discard(msg.channel)
+        self.env.emit(
+            "mirror.update",
+            (self.cell, msg.sender, "granted_out", "discard", msg.channel),
+        )
         self._check_mode()
 
     # ------------------------------------------------------------------
@@ -817,7 +843,11 @@ class AdaptiveMSS(MSS):
             # protection is the ack-timeout backstop on their side).
             for j in self.IN:
                 self.U[j].replace(())
+                self.env.emit("mirror.update", (self.cell, j, "U", "replace", None))
                 self.granted_out[j].replace(())
+                self.env.emit(
+                    "mirror.update", (self.cell, j, "granted_out", "replace", None)
+                )
             self.UpdateS.clear()
             for sender in tuple(self._owed_acks):
                 del self._owed_acks[sender]

@@ -11,6 +11,11 @@ engine's probe bus (:meth:`repro.sim.Environment.subscribe`):
   (src, dst) link, messages must deliver in send order, and no node
   may send a RESPONSE for a round whose REQUEST/CHANGE_MODE it has not
   yet received.
+* :class:`VectorClockChecker` — happens-before oracle: stamps every
+  logical send with a vector clock, checks causal delivery per link,
+  and flags causally unordered writes to the per-neighbor state
+  mirrors (``mirror_race``) — the dynamic counterpart of the static
+  shard-safety pass in ``tools/analyze``.
 * :class:`QuiescenceChecker` — end-of-run hygiene: every acquired
   channel released, every channel request resolved.
 
@@ -18,16 +23,19 @@ All sanitizers share the :class:`InterferenceMonitor` policy API:
 ``policy="raise"`` fails loudly on the first violation (tests),
 ``policy="record"`` accumulates violations for inspection.
 
-:class:`SanitizerSuite` bundles the three and attaches them to a
+:class:`SanitizerSuite` bundles the four and attaches them to a
 simulation in one call; the pytest ``conftest`` enables it globally
 via :func:`set_default_policy`.
 """
+
+from typing import Optional
 
 from .base import Sanitizer, Violation
 from .causality import CausalityChecker, CausalityViolation
 from .deadlock import DeadlockDetector, DeadlockViolation
 from .quiescence import QuiescenceChecker, QuiescenceViolation
 from .suite import SanitizerSuite
+from .vectorclock import VectorClockChecker, VectorClockViolation
 
 __all__ = [
     "Sanitizer",
@@ -38,6 +46,8 @@ __all__ = [
     "CausalityViolation",
     "QuiescenceChecker",
     "QuiescenceViolation",
+    "VectorClockChecker",
+    "VectorClockViolation",
     "SanitizerSuite",
     "set_default_policy",
     "get_default_policy",
@@ -46,10 +56,10 @@ __all__ = [
 #: Module-level default policy: when not ``None``, the harness attaches
 #: a :class:`SanitizerSuite` with this policy to every simulation it
 #: builds.  The test suite sets it to ``"raise"`` in ``conftest.py``.
-_DEFAULT_POLICY = None
+_DEFAULT_POLICY: Optional[str] = None
 
 
-def set_default_policy(policy):
+def set_default_policy(policy: Optional[str]) -> Optional[str]:
     """Set the process-wide default sanitizer policy.
 
     ``None`` disables automatic attachment; ``"raise"`` / ``"record"``
@@ -65,6 +75,6 @@ def set_default_policy(policy):
     return previous
 
 
-def get_default_policy():
+def get_default_policy() -> Optional[str]:
     """Return the current process-wide default sanitizer policy."""
     return _DEFAULT_POLICY

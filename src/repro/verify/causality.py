@@ -33,7 +33,7 @@ from typing import Dict, Set, Tuple
 
 from ..protocols.messages import Response
 from ..protocols.prakash import PollResponse, TransferReply
-from ..sim import Envelope
+from ..sim import Envelope, Environment
 from .base import Sanitizer, Violation
 
 __all__ = ["CausalityViolation", "CausalityChecker"]
@@ -77,7 +77,9 @@ class CausalityChecker(Sanitizer):
 
     name = "causality"
 
-    def __init__(self, env, policy: str = "raise", check_fifo: bool = True) -> None:
+    def __init__(
+        self, env: Environment, policy: str = "raise", check_fifo: bool = True
+    ) -> None:
         self.check_fifo = check_fifo
         #: (src, dst) -> highest send-sequence number delivered so far.
         self._delivered_seq: Dict[Tuple[int, int], int] = {}
@@ -156,7 +158,7 @@ class CausalityChecker(Sanitizer):
             else:
                 self._delivered_seq[link] = envelope.seq
 
-    def _on_request_seen(self, now: float, payload) -> None:
+    def _on_request_seen(self, now: float, payload: Tuple[int, int, int]) -> None:
         responder, requester, round_id = payload
         self._open_rounds.setdefault(responder, set()).add(
             (requester, round_id)

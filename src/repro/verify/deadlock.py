@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..sim import Environment
 from .base import Sanitizer, Violation
 
 __all__ = ["DeadlockViolation", "DeadlockDetector"]
@@ -64,7 +65,7 @@ class DeadlockDetector(Sanitizer):
 
     name = "deadlock"
 
-    def __init__(self, env, policy: str = "raise") -> None:
+    def __init__(self, env: Environment, policy: str = "raise") -> None:
         #: waiter -> set of holders it is blocked on.
         self.waits_on: Dict[int, Set[int]] = {}
         #: (waiter, holder) -> reason string (debugging aid).
@@ -83,7 +84,7 @@ class DeadlockDetector(Sanitizer):
         self._listen("search.end", self._on_search_end)
 
     # -- probe handlers ----------------------------------------------------
-    def _on_block(self, now: float, payload) -> None:
+    def _on_block(self, now: float, payload: Tuple[int, int, str, object]) -> None:
         waiter, holder, reason, ts = payload
         if reason == "gate" and self.open_searches.get(holder) != ts:
             # The search this acknowledgment belongs to has already
@@ -92,11 +93,11 @@ class DeadlockDetector(Sanitizer):
             return
         self.block(waiter, holder, reason, time=now)
 
-    def _on_unblock(self, now: float, payload) -> None:
+    def _on_unblock(self, now: float, payload: Tuple[int, int]) -> None:
         waiter, holder = payload
         self.unblock(waiter, holder)
 
-    def _on_search_begin(self, now: float, payload) -> None:
+    def _on_search_begin(self, now: float, payload: Tuple[int, object]) -> None:
         searcher, ts = payload
         self.open_searches[searcher] = ts
 

@@ -16,8 +16,9 @@ legitimately in progress are not leaks.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Dict, Set, Tuple
 
+from ..sim import Environment
 from .base import Sanitizer, Violation
 
 __all__ = ["QuiescenceViolation", "QuiescenceChecker"]
@@ -40,7 +41,7 @@ class QuiescenceChecker(Sanitizer):
 
     name = "quiescence"
 
-    def __init__(self, env, policy: str = "raise") -> None:
+    def __init__(self, env: Environment, policy: str = "raise") -> None:
         #: cell -> channels currently held (per probe stream).
         self.held: Dict[int, Set[int]] = {}
         #: cell -> number of requests begun but not yet resolved.
@@ -57,12 +58,12 @@ class QuiescenceChecker(Sanitizer):
         self._listen("request.end", self._on_end)
 
     # -- probe handlers ----------------------------------------------------
-    def _on_acquired(self, now: float, payload) -> None:
+    def _on_acquired(self, now: float, payload: Tuple[int, int]) -> None:
         cell, channel = payload
         self.held.setdefault(cell, set()).add(channel)
         self.total_acquisitions += 1
 
-    def _on_released(self, now: float, payload) -> None:
+    def _on_released(self, now: float, payload: Tuple[int, int]) -> None:
         cell, channel = payload
         held = self.held.get(cell)
         if held is None or channel not in held:
@@ -83,12 +84,12 @@ class QuiescenceChecker(Sanitizer):
     # ``request.begin``/``request.end`` payloads are tuples whose first
     # element is the cell (see docs/OBSERVABILITY.md); bare-int payloads
     # from hand-driven tests are accepted for convenience.
-    def _on_begin(self, now: float, payload) -> None:
+    def _on_begin(self, now: float, payload: Tuple[int, ...]) -> None:
         cell = payload[0] if isinstance(payload, tuple) else payload
         self.open_requests[cell] = self.open_requests.get(cell, 0) + 1
         self.total_requests += 1
 
-    def _on_end(self, now: float, payload) -> None:
+    def _on_end(self, now: float, payload: Tuple[int, ...]) -> None:
         cell = payload[0] if isinstance(payload, tuple) else payload
         remaining = self.open_requests.get(cell, 0) - 1
         if remaining:

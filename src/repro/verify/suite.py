@@ -1,8 +1,8 @@
 """Bundle of all runtime sanitizers, attached in one call.
 
 ``SanitizerSuite(env, network)`` wires a :class:`DeadlockDetector`, a
-:class:`CausalityChecker` and a :class:`QuiescenceChecker` to the
-environment's probe bus.  The harness attaches one automatically when
+:class:`CausalityChecker`, a :class:`VectorClockChecker` and a
+:class:`QuiescenceChecker` to the environment's probe bus.  The harness attaches one automatically when
 :func:`repro.verify.set_default_policy` is active (the pytest suite
 turns it on globally), so every scenario run is sanitized without any
 per-test plumbing.
@@ -17,12 +17,13 @@ from .base import Sanitizer, Violation
 from .causality import CausalityChecker
 from .deadlock import DeadlockDetector
 from .quiescence import QuiescenceChecker
+from .vectorclock import VectorClockChecker
 
 __all__ = ["SanitizerSuite"]
 
 
 class SanitizerSuite:
-    """All three sanitizers behind one attach/detach/assert interface.
+    """All four sanitizers behind one attach/detach/assert interface.
 
     Parameters
     ----------
@@ -48,11 +49,14 @@ class SanitizerSuite:
         check_fifo = network.fifo if network is not None else True
         self.deadlock = DeadlockDetector(env, policy=policy)
         self.causality = CausalityChecker(env, policy=policy, check_fifo=check_fifo)
+        self.vector_clock = VectorClockChecker(
+            env, policy=policy, check_order=check_fifo
+        )
         self.quiescence = QuiescenceChecker(env, policy=policy)
 
     @property
     def sanitizers(self) -> List[Sanitizer]:
-        return [self.deadlock, self.causality, self.quiescence]
+        return [self.deadlock, self.causality, self.vector_clock, self.quiescence]
 
     @property
     def violations(self) -> List[Violation]:

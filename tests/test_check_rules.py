@@ -298,6 +298,116 @@ def test_bare_noqa_suppresses_everything(tmp_path):
     assert check_file(path) == []
 
 
+def test_stale_bare_noqa_flagged(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        def f(x):
+            return x + 1  # repro: noqa
+        """,
+    )
+    findings = check_file(path)
+    assert codes(findings) == ["SIM100"]
+    assert "bare" in findings[0].message
+
+
+def test_stale_named_noqa_flagged(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        def f(x):
+            return x + 1  # repro: noqa(SIM001)
+        """,
+    )
+    findings = check_file(path)
+    assert codes(findings) == ["SIM100"]
+    assert "SIM001" in findings[0].message
+
+
+def test_used_noqa_is_not_stale(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import time
+
+        def f():
+            return time.time()  # repro: noqa(SIM001)
+
+        def g():
+            return time.time()  # repro: noqa
+        """,
+    )
+    assert check_file(path) == []
+
+
+def test_foreign_runner_codes_not_judged_stale(tmp_path):
+    # SIM006 belongs to the tools.analyze rule set; a pragma for it must
+    # not be declared stale by a tools.check run that never evaluates it.
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        def f(self, d):
+            for j in d.keys():
+                self._send(j, 1)  # repro: noqa(SIM006)
+        """,
+    )
+    assert check_file(path) == []
+
+
+def test_stale_noqa_cannot_suppress_itself(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        def f(x):
+            return x + 1  # repro: noqa(SIM100)
+        """,
+    )
+    assert codes(check_file(path)) == ["SIM100"]
+
+
+# ----------------------------------------------------------- shared schema ----
+def test_finding_to_dict_schema(tmp_path):
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import time
+        t = time.time()
+        """,
+    )
+    payload = check_file(path)[0].to_dict()
+    assert payload["code"] == "SIM001"
+    assert payload["path"] == path
+    assert payload["line"] == 3
+    assert payload["col"] == 4
+    assert payload["url"] == "docs/CHECKS.md#sim001"
+    assert "time.time()" in payload["message"]
+
+
+def test_cli_json_format(tmp_path, capsys):
+    import json
+
+    from tools.check.__main__ import main as check_main
+
+    path = write(
+        tmp_path,
+        "src/repro/sim/x.py",
+        """
+        import time
+        t = time.time()
+        """,
+    )
+    assert check_main([path, "--format", "json"]) == 1
+    out = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in out] == ["SIM001"]
+    assert set(out[0]) == {"code", "path", "line", "col", "message", "url"}
+
+
 # ------------------------------------------------------------------ engine ----
 def test_syntax_error_reported_not_raised(tmp_path):
     path = write(tmp_path, "src/repro/sim/x.py", "def broken(:\n")

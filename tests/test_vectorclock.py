@@ -1,0 +1,165 @@
+"""Tests for the vector-clock happens-before checker.
+
+The checker is driven synthetically (hand-built envelopes and
+hand-emitted probe events, like the other sanitizer tests) and through
+a real adaptive-protocol stack, where a full borrow round must stamp
+real traffic and stay silent.
+"""
+
+import pytest
+
+from repro.core import AdaptiveMSS
+from repro.sim import DeterministicLatency, Envelope, Environment, Network
+from repro.verify import VectorClockChecker
+
+from conftest import drive, make_stack
+
+
+class MirrorSink:
+    """Node that mirrors the sender's payload on every delivery."""
+
+    def __init__(self, node_id, env):
+        self.node_id = node_id
+        self.env = env
+        self.received = []
+
+    def on_message(self, envelope):
+        self.received.append(envelope)
+        self.env.emit(
+            "mirror.update",
+            (self.node_id, envelope.src, "U", "add", envelope.payload),
+        )
+
+
+def make_net(env, fifo=True, n=4):
+    net = Network(env, latency=DeterministicLatency(1.0), fifo=fifo)
+    for i in range(n):
+        net.attach(MirrorSink(i, env))
+    return net
+
+
+# -------------------------------------------------------- synthetic runs ----
+def test_in_order_traffic_is_clean_and_stamped():
+    env = Environment()
+    net = make_net(env)
+    chk = VectorClockChecker(env, policy="record")
+    net.send(0, 1, "a")
+    net.send(0, 1, "b")
+    env.run()
+    assert chk.violations == []
+    assert chk.messages_stamped == 2
+
+
+def test_reordered_delivery_flags_causal_delivery():
+    env = Environment()
+    net = make_net(env, fifo=False)  # network *allows* reordering
+    chk = VectorClockChecker(env, policy="record", check_order=True)
+    net.send(0, 1, "slow", delay_override=5.0)
+    net.send(0, 1, "fast", delay_override=1.0)
+    env.run()
+    assert "causal_delivery" in [v.kind for v in chk.violations]
+
+
+def test_reordered_mirror_write_flags_mirror_race():
+    # The overtaken message reaches the handler second, so the second
+    # write to U[0] at cell 1 carries the *older* stamp: last-writer-
+    # wins would leave the mirror holding stale state.
+    env = Environment()
+    net = make_net(env, fifo=False)
+    chk = VectorClockChecker(env, policy="record", check_order=True)
+    net.send(0, 1, "slow", delay_override=5.0)
+    net.send(0, 1, "fast", delay_override=1.0)
+    env.run()
+    kinds = [v.kind for v in chk.violations]
+    assert "mirror_race" in kinds
+    race = next(v for v in chk.violations if v.kind == "mirror_race")
+    assert (race.src, race.dst) == (0, 1)
+
+
+def test_check_order_gate_silences_reordering_network():
+    env = Environment()
+    net = make_net(env, fifo=False)
+    chk = VectorClockChecker(env, policy="record", check_order=False)
+    net.send(0, 1, "slow", delay_override=5.0)
+    net.send(0, 1, "fast", delay_override=1.0)
+    env.run()
+    assert chk.violations == []
+    assert chk.messages_stamped == 2
+
+
+def test_raise_policy_raises_on_reorder():
+    env = Environment()
+    net = make_net(env, fifo=False)
+    VectorClockChecker(env, policy="raise", check_order=True)
+    net.send(0, 1, "slow", delay_override=5.0)
+    net.send(0, 1, "fast", delay_override=1.0)
+    with pytest.raises(AssertionError, match="causal_delivery"):
+        env.run()
+
+
+def test_fault_tagged_copies_are_not_stamped():
+    env = Environment()
+    chk = VectorClockChecker(env, policy="record")
+    env.emit(
+        "net.send",
+        Envelope(0, 1, "x", sent_at=0.0, deliver_at=1.0, seq=1, fault_tag="retrans"),
+    )
+    env.emit(
+        "net.deliver",
+        Envelope(0, 1, "x", sent_at=0.0, deliver_at=1.0, seq=1, fault_tag="retrans"),
+    )
+    assert chk.messages_stamped == 0
+    assert chk.violations == []
+
+
+def test_unknown_stamp_skips_checks_and_clears_context():
+    env = Environment()
+    chk = VectorClockChecker(env, policy="record")
+    # Delivery of a message the checker never saw sent (white-box
+    # injection): nothing to verify, and the mirror write that follows
+    # must not be attributed to anything.
+    env.emit("net.deliver", Envelope(0, 1, "x", sent_at=0.0, deliver_at=1.0, seq=99))
+    env.emit("mirror.update", (1, 0, "U", "add", 5))
+    env.emit("mirror.update", (1, 0, "U", "add", 6))
+    assert chk.violations == []
+
+
+def test_local_write_resets_mirror_tracking():
+    env = Environment()
+    net = make_net(env, fifo=False)
+    chk = VectorClockChecker(env, policy="record", check_order=True)
+    net.send(0, 1, "slow", delay_override=5.0)
+    net.send(0, 1, "fast", delay_override=1.0)
+    # A local wipe (no delivery context for cell 2) between the two
+    # handler writes resets tracking for *its* key only.
+    env.emit("mirror.update", (2, 0, "U", "replace", None))
+    env.run()
+    assert "mirror_race" in [v.kind for v in chk.violations]
+
+
+def test_foreign_probe_payloads_tolerated():
+    env = Environment()
+    chk = VectorClockChecker(env, policy="record")
+    env.emit("mirror.update", 42)  # not a tuple
+    env.emit("mirror.update", (1, 0, "U"))  # wrong arity
+    assert chk.violations == []
+
+
+# -------------------------------------------------------- real protocol ----
+def test_adaptive_borrow_round_is_stamped_and_clean():
+    # make_stack's suite already runs a raise-mode VectorClockChecker;
+    # this record-mode one rides along to expose the counters.
+    env, net, topo, stations, monitor, metrics = make_stack(AdaptiveMSS, alpha=0)
+    chk = VectorClockChecker(env, policy="record")
+    held = []
+    for _ in range(len(topo.PR(0))):
+        held.append(drive(env, stations[0].request_channel()))
+    env.run()
+    borrowed = drive(env, stations[0].request_channel())  # via search
+    env.run()
+    assert borrowed is not None
+    for ch in held + [borrowed]:
+        stations[0].release_channel(ch)
+    env.run()
+    assert chk.violations == []
+    assert chk.messages_stamped > 0

@@ -247,7 +247,8 @@ def test_suite_respects_network_fifo_flag():
     net = make_net(env, fifo=False)
     suite = SanitizerSuite(env, net, policy="record")
     assert suite.causality.check_fifo is False
-    assert len(suite.sanitizers) == 3
+    assert suite.vector_clock.check_order is False
+    assert len(suite.sanitizers) == 4
 
 
 def test_suite_aggregates_and_detaches():

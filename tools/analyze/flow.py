@@ -1,0 +1,229 @@
+"""Pass 1 — message-flow conformance (ANA101–ANA104).
+
+Checks the whole send/handler matrix that ``base.py``'s dynamic
+dispatch leaves unchecked until runtime:
+
+* **ANA101** — a scheme sends a message kind it has no ``_on_<Kind>``
+  handler for.  At runtime this is a ``NotImplementedError`` the first
+  time such a message is *delivered* — which under rare interleavings
+  may be never in tests and always in production.  Reported at the
+  send site.  ``Ack`` is link-layer traffic peeled off by
+  ``MSS.on_message`` before dispatch and is allowlisted.
+* **ANA102** — a scheme defines ``_on_<Kind>`` but neither it nor any
+  ancestor ever sends ``<Kind>``: dead dispatch-table weight, or a
+  send that was refactored away while its handler lingered.
+* **ANA103** — a handler (or a helper whose parameter is annotated
+  with a message class) reads ``msg.<attr>`` where ``<attr>`` is not a
+  field of the message dataclass — the silent ``AttributeError`` class
+  of bug.  Dataclass niceties (``replace``, dunders) are tolerated.
+* **ANA104** — a message constructor call at a send site does not
+  match the dataclass signature: unknown keyword, too many
+  positionals, or a missing required field.  ``*args``/``**kwargs``
+  escapes the check.
+
+The pass also renders the flow graph as GraphViz DOT (scheme →
+message kind for sends, message kind → scheme for handlers) for the
+CI artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from tools.check.engine import Finding
+
+from .model import ProtocolModel
+
+__all__ = ["run_flow_pass", "render_dot"]
+
+#: Kinds handled below protocol dispatch (see ``MSS.on_message``).
+LINK_LAYER_KINDS = frozenset({"Ack"})
+
+#: Attributes legal on any (frozen) dataclass instance.
+_DATACLASS_ATTRS = frozenset({"replace"})
+
+
+def _schemes(model: ProtocolModel) -> List[str]:
+    return model.scheme_names()
+
+
+def _check_sent_unhandled(model: ProtocolModel, findings: List[Finding]) -> None:
+    for scheme in _schemes(model):
+        handled = model.handled_kinds(scheme) | LINK_LAYER_KINDS
+        for site in model.sends_of(scheme):
+            if site.kind is None or site.kind in handled:
+                continue
+            findings.append(
+                Finding(
+                    site.path,
+                    site.line,
+                    site.col,
+                    "ANA101",
+                    f"{scheme} sends {site.kind} (in {site.method}) but "
+                    f"defines no _on_{site.kind} handler — delivery would "
+                    "raise NotImplementedError",
+                )
+            )
+
+
+def _check_handler_never_sent(
+    model: ProtocolModel, findings: List[Finding]
+) -> None:
+    for scheme in _schemes(model):
+        sent = model.sent_kinds(scheme)
+        for handler in model.handlers_of(scheme):
+            if not handler.method.startswith("_on_"):
+                continue  # helpers are reached via a real handler
+            if handler.kind in sent:
+                continue
+            findings.append(
+                Finding(
+                    handler.path,
+                    handler.line,
+                    0,
+                    "ANA102",
+                    f"{scheme} registers handler {handler.method} but "
+                    f"{handler.kind} is never sent by the scheme (dead "
+                    "dispatch entry, or a send refactored away)",
+                )
+            )
+
+
+def _check_field_accesses(model: ProtocolModel, findings: List[Finding]) -> None:
+    for cls in model.classes.values():
+        for handler in cls.handlers:
+            message = model.messages.get(handler.kind)
+            if message is None:
+                continue
+            legal = message.field_names | message.methods | _DATACLASS_ATTRS
+            for access in handler.accesses:
+                if access.attr in legal or access.attr.startswith("__"):
+                    continue
+                findings.append(
+                    Finding(
+                        handler.path,
+                        access.line,
+                        access.col,
+                        "ANA103",
+                        f"{cls.name}.{handler.method} reads "
+                        f"msg.{access.attr}, but {handler.kind} has no "
+                        f"field {access.attr!r} (fields: "
+                        f"{', '.join(sorted(message.field_names))}) — "
+                        "this is an AttributeError at delivery time",
+                    )
+                )
+
+
+def _check_constructors(model: ProtocolModel, findings: List[Finding]) -> None:
+    for cls in model.classes.values():
+        for site in cls.sends:
+            if site.kind is None or site.call is None:
+                continue
+            message = model.messages.get(site.kind)
+            if message is None:
+                continue
+            call = site.call
+            if any(isinstance(a, ast.Starred) for a in call.args) or any(
+                kw.arg is None for kw in call.keywords
+            ):
+                continue  # *args / **kwargs: not statically checkable
+            field_order = [f.name for f in message.fields]
+            n_pos = len(call.args)
+            if n_pos > len(field_order):
+                findings.append(
+                    Finding(
+                        site.path,
+                        site.line,
+                        site.col,
+                        "ANA104",
+                        f"{site.kind}(...) called with {n_pos} positional "
+                        f"arguments but the dataclass has only "
+                        f"{len(field_order)} fields",
+                    )
+                )
+                continue
+            covered: Set[str] = set(field_order[:n_pos])
+            bad = False
+            for kw in call.keywords:
+                assert kw.arg is not None  # filtered above
+                if kw.arg not in message.field_names:
+                    findings.append(
+                        Finding(
+                            site.path,
+                            site.line,
+                            site.col,
+                            "ANA104",
+                            f"{site.kind}(...) passes unknown keyword "
+                            f"{kw.arg!r} (fields: "
+                            f"{', '.join(field_order)})",
+                        )
+                    )
+                    bad = True
+                elif kw.arg in covered:
+                    findings.append(
+                        Finding(
+                            site.path,
+                            site.line,
+                            site.col,
+                            "ANA104",
+                            f"{site.kind}(...) passes {kw.arg!r} both "
+                            "positionally and by keyword",
+                        )
+                    )
+                    bad = True
+                else:
+                    covered.add(kw.arg)
+            if bad:
+                continue
+            missing = [
+                f.name
+                for f in message.fields
+                if not f.has_default and f.name not in covered
+            ]
+            if missing:
+                findings.append(
+                    Finding(
+                        site.path,
+                        site.line,
+                        site.col,
+                        "ANA104",
+                        f"{site.kind}(...) misses required field(s) "
+                        f"{', '.join(missing)}",
+                    )
+                )
+
+
+def run_flow_pass(model: ProtocolModel) -> List[Finding]:
+    """All message-flow conformance findings for ``model``."""
+    findings: List[Finding] = []
+    _check_sent_unhandled(model, findings)
+    _check_handler_never_sent(model, findings)
+    _check_field_accesses(model, findings)
+    _check_constructors(model, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def render_dot(model: ProtocolModel) -> str:
+    """The send/handle matrix as a GraphViz digraph (CI artifact)."""
+    lines = [
+        "digraph message_flow {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+    kinds: Set[str] = set()
+    edges: List[str] = []
+    for scheme in _schemes(model):
+        lines.append(f'  "{scheme}" [shape=box, style=filled, fillcolor="#e8f0fe"];')
+        for kind in sorted(model.sent_kinds(scheme)):
+            kinds.add(kind)
+            edges.append(f'  "{scheme}" -> "{kind}";')
+        for kind in sorted(model.handled_kinds(scheme)):
+            kinds.add(kind)
+            edges.append(f'  "{kind}" -> "{scheme}" [style=dashed];')
+    for kind in sorted(kinds):
+        lines.append(f'  "{kind}" [shape=ellipse];')
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

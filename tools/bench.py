@@ -36,7 +36,7 @@ import os
 import sys
 import tempfile
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 if __package__ in (None, ""):  # `python tools/bench.py` from the repo root
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
@@ -100,7 +100,7 @@ PROFILES = {
 }
 
 
-def _step_all(scheme: str, spec: Dict[str, Any]):
+def _step_all(scheme: str, spec: Dict[str, Any]) -> int:
     """Build a B0-style simulation and step it manually to the horizon."""
     sim = build_simulation(
         Scenario(
@@ -227,7 +227,7 @@ def check_regression(
     return problems
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.bench", description="Simulator benchmark driver."
     )

@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from typing import Optional, Sequence
 
 from repro.faults import FaultPlan
 from repro.harness import Scenario, render_table, run_scenario
@@ -60,7 +61,7 @@ def build_scenario(
     )
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     p = argparse.ArgumentParser(prog="python -m tools.chaos_smoke")
     p.add_argument("--loss", type=float, default=0.05,
                    help="uniform message-loss probability (default 0.05)")

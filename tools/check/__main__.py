@@ -1,28 +1,38 @@
 """CLI entry point: ``python -m tools.check [paths...]``.
 
-Exits 1 if any finding is reported, 0 on a clean tree.
+Exits 1 if any finding is reported, 0 on a clean tree.  ``--format
+json`` emits the shared finding schema (code, path, line, col,
+message, rule-doc URL) also used by ``python -m tools.analyze``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+from typing import Optional, Sequence
 
 from .engine import check_paths
 from .rules import RULES
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.check",
-        description="Simulation-specific static checks (SIM001-SIM004).",
+        description="Simulation-specific static checks (SIM001-SIM005).",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src", "tools"],
         help="files or directories to check (default: src tools)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
     )
     parser.add_argument(
         "--list-rules",
@@ -43,8 +53,11 @@ def main(argv=None) -> int:
         return 2
 
     findings = check_paths(args.paths)
-    for finding in findings:
-        print(finding)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         print(f"{len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -5,6 +5,14 @@ match *canonical* dotted names (``import numpy as np`` makes
 ``np.random.seed`` resolve to ``numpy.random.seed``), runs every rule
 whose path scope covers the file, and filters findings through
 line-level ``# repro: noqa(...)`` pragmas.
+
+Suppressions are themselves checked: a pragma that silences nothing in
+the current run — a bare ``# repro: noqa`` with no finding on the line,
+or a named code that belongs to a rule scoped to the file but did not
+fire — is reported as ``SIM100`` (stale suppression).  Codes naming
+rules *outside* the current rule set are left alone, so a pragma for
+the whole-program analyzer (``tools.analyze``) does not trip the line
+lint and vice versa.  ``SIM100`` itself cannot be suppressed.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path, PurePath
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 __all__ = [
     "Finding",
@@ -21,6 +29,7 @@ __all__ = [
     "check_file",
     "check_paths",
     "iter_python_files",
+    "STALE_NOQA_CODE",
 ]
 
 #: ``# repro: noqa`` or ``# repro: noqa(SIM001, SIM003)``
@@ -30,6 +39,12 @@ _NOQA_RE = re.compile(
 
 #: Sentinel meaning "every rule is suppressed on this line".
 _ALL = "ALL"
+
+#: Code reported for a ``# repro: noqa`` pragma that suppresses nothing.
+STALE_NOQA_CODE = "SIM100"
+
+#: Rule documentation lives in one catalog; each code has an anchor.
+_DOC_URL_BASE = "docs/CHECKS.md#"
 
 
 @dataclass(frozen=True)
@@ -44,6 +59,21 @@ class Finding:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The shared machine-readable schema (``--format json``).
+
+        Both ``tools.check`` and ``tools.analyze`` emit this shape, so
+        downstream tooling needs exactly one parser.
+        """
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "url": f"{_DOC_URL_BASE}{self.code.lower()}",
+        }
 
 
 class CheckContext:
@@ -110,7 +140,7 @@ def _noqa_lines(source: str) -> Dict[int, Set[str]]:
     return suppressed
 
 
-def _scoped_rules(path: str, rules) -> List:
+def _scoped_rules(path: str, rules: Sequence[Any]) -> List[Any]:
     posix = PurePath(path).as_posix()
     chosen = []
     for rule in rules:
@@ -121,7 +151,50 @@ def _scoped_rules(path: str, rules) -> List:
     return chosen
 
 
-def check_file(path: str, rules=None) -> List[Finding]:
+def _stale_suppressions(
+    path: str,
+    suppressed: Dict[int, Set[str]],
+    used: Dict[int, Set[str]],
+    known_codes: Set[str],
+) -> List[Finding]:
+    """SIM100 findings for pragmas that silenced nothing this run.
+
+    A named code is judged only when it belongs to a rule applicable to
+    this file in this run — a pragma for a rule owned by the *other*
+    analyzer (or scoped elsewhere) is not ours to condemn.
+    """
+    findings: List[Finding] = []
+    for line, codes in sorted(suppressed.items()):
+        used_here = used.get(line, set())
+        if _ALL in codes:
+            if not used_here:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        0,
+                        STALE_NOQA_CODE,
+                        "stale suppression: bare '# repro: noqa' pragma "
+                        "suppresses nothing on this line — remove it",
+                    )
+                )
+            continue
+        for code in sorted(codes):
+            if code in known_codes and code not in used_here:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        0,
+                        STALE_NOQA_CODE,
+                        f"stale suppression: noqa({code}) suppresses "
+                        "nothing on this line — remove it",
+                    )
+                )
+    return findings
+
+
+def check_file(path: str, rules: Optional[Sequence[Any]] = None) -> List[Finding]:
     """Run every applicable rule over one file; returns its findings."""
     if rules is None:
         from .rules import RULES as rules  # late import: rules use engine types
@@ -143,16 +216,26 @@ def check_file(path: str, rules=None) -> List[Finding]:
         return []
     ctx = CheckContext(path, tree)
     suppressed = _noqa_lines(source)
+    #: line -> codes whose findings a pragma actually swallowed.
+    used: Dict[int, Set[str]] = {}
     findings: List[Finding] = []
     for rule in applicable:
         for node, message in rule.run(tree, ctx):
             line = getattr(node, "lineno", 1)
             codes = suppressed.get(line)
             if codes is not None and (_ALL in codes or rule.code in codes):
+                used.setdefault(line, set()).add(rule.code)
                 continue
             findings.append(
                 Finding(path, line, getattr(node, "col_offset", 0), rule.code, message)
             )
+    if suppressed:
+        # SIM100 itself is always known: suppressing the stale-pragma
+        # check with a pragma is exactly the loop it exists to close.
+        known_codes = {rule.code for rule in applicable} | {STALE_NOQA_CODE}
+        findings.extend(
+            _stale_suppressions(path, suppressed, used, known_codes)
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
@@ -167,7 +250,9 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
             yield str(p)
 
 
-def check_paths(paths: Iterable[str], rules=None) -> List[Finding]:
+def check_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Any]] = None
+) -> List[Finding]:
     """Check every Python file under ``paths``; returns all findings."""
     findings: List[Finding] = []
     for file_path in iter_python_files(paths):

@@ -15,6 +15,7 @@ import argparse
 import pathlib
 import sys
 import time
+from typing import Iterable, Optional, Sequence
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
@@ -34,7 +35,7 @@ METRICS = [
 ]
 
 
-def render(preset_name: str, rows) -> str:
+def render(preset_name: str, rows: Iterable[Sequence[object]]) -> str:
     header = ["scheme"] + [label for _, label in METRICS] + ["violations"]
     out = [f"## {preset_name}", ""]
     out.append("| " + " | ".join(header) + " |")
@@ -45,7 +46,7 @@ def render(preset_name: str, rows) -> str:
     return "\n".join(out)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("-o", "--output", default="report.md")
     parser.add_argument("--quick", action="store_true")
