@@ -75,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = one per CPU); results are identical to serial",
     )
     p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the grid into N row bands and run one "
+        "conservatively synchronized kernel per band, each in its own "
+        "process (space-parallel DES; results are row-identical to "
+        "--shards 1); requires the deterministic latency model and "
+        "static calls — see docs/PROTOCOL.md",
+    )
+    p.add_argument(
         "--no-cache", action="store_true",
         help="ignore the persistent result cache (.repro-cache/) and "
         "always simulate",
@@ -200,6 +208,7 @@ def main(argv=None) -> int:
         workers=args.workers if args.workers > 0 else None,
         cache=False if args.no_cache else None,
         trace_dir=args.trace,
+        shards=args.shards,
     )
     if args.trace is not None:
         print(f"run artifacts written to {args.trace}/", file=sys.stderr)

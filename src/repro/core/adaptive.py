@@ -423,8 +423,8 @@ class AdaptiveMSS(MSS):
         # Failure: revert mode and release the granters (Fig. 2).
         self.mode = prev_mode
         if complete:
-            for j, verdict in verdicts.items():
-                if verdict is ResType.GRANT:
+            for j in sorted(verdicts):
+                if verdicts[j] is ResType.GRANT:
                     self._send(j, Release(self.cell, channel))
         else:
             # Round deadline expired: a missing verdict is treated as a

@@ -11,9 +11,14 @@ The injector plugs into the network through a two-method interface
 * :meth:`deliverable` — consulted at delivery time; vetoes delivery to
   a crashed destination.
 
-Every decision draws from one dedicated seeded stream, so a given
-(seed, plan) pair always yields the same fault schedule regardless of
-worker count, and every injected fault is announced on the probe bus
+Every per-message decision draws from a dedicated seeded *per-link*
+stream (``("faults", "net", src, dst)``), so a given (seed, plan) pair
+always yields the same fault schedule per link regardless of worker
+count — and regardless of how the grid is sharded: a link's draw
+sequence depends only on that link's own send history, never on the
+global interleaving of sends across links, which differs between a
+single kernel and a sharded run.  Every injected fault is announced on
+the probe bus
 (``fault.drop``, ``fault.duplicate``, ``fault.delay``,
 ``fault.reorder``, ``fault.partition``, ``fault.crash``,
 ``fault.crash_drop``, ``fault.restart``) and counted by the metrics
@@ -22,7 +27,7 @@ collector.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from .plan import FaultPlan
 
@@ -57,10 +62,13 @@ class FaultInjector:
         Simulation environment (probe bus + crash process host).
     plan:
         The :class:`FaultPlan` to execute.
-    rng:
-        Dedicated ``numpy`` generator (``streams.stream("faults", ...)``)
-        — *never* shared with traffic or latency streams, so enabling
-        faults cannot perturb their draws.
+    streams:
+        The run's :class:`~repro.sim.rng.StreamRegistry`; the injector
+        draws each link's decisions from its own named substream
+        (``("faults", "net", src, dst)``) — never shared with traffic
+        or latency streams, so enabling faults cannot perturb their
+        draws, and never shared across links, so fault realizations
+        are identical for any sharding of the grid.
     latency:
         The network's latency model; duplicate copies are delivered one
         fresh latency sample after the original.
@@ -73,20 +81,32 @@ class FaultInjector:
         self,
         env: Any,
         plan: FaultPlan,
-        rng: Any,
+        streams: Any,
         latency: Any,
         metrics: Any = None,
     ) -> None:
         self.env = env
         self.plan = plan
-        self.rng = rng
+        self.streams = streams
         self.latency = latency
         self.metrics = metrics
+        #: (src, dst) -> that link's decision stream (memoized locally;
+        #: the registry would re-derive the same generator).
+        self._link_rngs: Dict[Tuple[int, int], Any] = {}
         #: Cells currently crashed (no sends, no deliveries).
         self.down: Set[int] = set()
         #: Injected-fault counts by kind (injector-local diagnostics;
         #: the metrics collector keeps the authoritative per-run copy).
         self.injected: Dict[str, int] = {}
+
+    def _link_rng(self, src: int, dst: int) -> Any:
+        link = (src, dst)
+        rng = self._link_rngs.get(link)
+        if rng is None:
+            rng = self._link_rngs[link] = self.streams.stream(
+                "faults", "net", src, dst
+            )
+        return rng
 
     # -- bookkeeping -------------------------------------------------------
     def _record(self, kind: str, detail: Any) -> None:
@@ -121,7 +141,7 @@ class FaultInjector:
                 self._record("partition", (src, dst, type(payload).__name__))
                 return ()
         plan = self.plan
-        rng = self.rng
+        rng = self._link_rng(src, dst)
         if plan.drop_prob and rng.random() < plan.drop_prob:
             self._record("drop", (src, dst, type(payload).__name__))
             return ()
@@ -155,14 +175,29 @@ class FaultInjector:
         return True
 
     # -- crash schedule ----------------------------------------------------
-    def install(self, stations: Dict[int, Any]) -> None:
-        """Spawn one crash–restart process per scheduled window."""
+    def install(
+        self, stations: Dict[int, Any], shadow: Iterable[int] = ()
+    ) -> None:
+        """Spawn one crash–restart process per scheduled window.
+
+        ``shadow`` lists cells this kernel does *not* own (sharded
+        runs): a window targeting a shadow cell only toggles the
+        ``down`` set — so the send-side ``crash_drop`` veto applies on
+        every shard — while the station hooks, fault accounting and
+        probe emissions run once, on the owning shard.
+        """
+        shadow_cells = frozenset(shadow)
         for window in self.plan.crashes:
-            if window.cell not in stations:
+            if window.cell in stations:
+                self.env.process(
+                    self._crash_process(stations[window.cell], window)
+                )
+            elif window.cell in shadow_cells:
+                self.env.process(self._shadow_crash_process(window))
+            else:
                 raise ValueError(
                     f"crash window targets unknown cell {window.cell}"
                 )
-            self.env.process(self._crash_process(stations[window.cell], window))
 
     def _crash_process(self, station: Any, window: Any):
         yield self.env.timeout(window.at)
@@ -173,3 +208,10 @@ class FaultInjector:
         self.down.discard(window.cell)
         self._record("restart", (window.cell,))
         station._restart()
+
+    def _shadow_crash_process(self, window: Any):
+        """Mirror a remote cell's crash window into the ``down`` set."""
+        yield self.env.timeout(window.at)
+        self.down.add(window.cell)
+        yield self.env.timeout(window.downtime)
+        self.down.discard(window.cell)

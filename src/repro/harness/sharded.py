@@ -1,0 +1,592 @@
+"""Sharded space-parallel scenario execution.
+
+One scenario, many kernels: the hex grid is partitioned into
+contiguous row bands (:func:`repro.sim.sharding.plan_shards`), each
+band runs a completely ordinary simulation stack — its own
+:class:`~repro.sim.engine.Environment`, network, stations, traffic,
+metrics, sanitizers — over *its* cells only, and the coordinator here
+advances all bands in lockstep time windows.
+
+**Synchronization protocol (conservative, null-message-free).**  The
+deterministic latency model gives every message a hard minimum one-way
+delay ``T``; with window width ``W = T``, a message sent anywhere in
+the window ``[t, t + T)`` delivers no earlier than ``t + T``.  So each
+shard can run a whole window in isolation: nothing another shard sent
+*during* the window can affect it until the *next* window.  At the
+barrier, cross-shard envelopes exported by every shard's
+:class:`~repro.sim.sharding.ShardPort` are routed, merge-sorted by
+``(deliver_at, sent_at, src, dst, msg_id)`` and injected into their
+destination kernels before any kernel enters the next window.
+
+**Determinism.**  Per-cell behavior is driven by per-cell named random
+substreams, so a station's local decisions do not depend on which
+kernel hosts it.  The merge order reproduces the single-kernel
+tie-break for every tie a FIFO fabric produces: same-link ties arrive
+in send order (``sent_at`` then ``msg_id``), and same-timestamp
+arrivals from different senders — replies to one multicast round —
+arrive in ascending source order, matching the protocols' sorted
+``IN`` fan-out.  Everything else the interleaving could permute
+(metrics aggregation, reply collection) is keyed by cell and
+commutative.  ``shards=N`` is therefore row-identical to ``shards=1``;
+the test suite asserts this per scheme, under faults, and with the
+sanitizer suite raising.
+
+**Correctness oracles.**  Each shard runs the full sanitizer suite;
+the vector-clock checker is re-primed across the boundary via the
+``shard.recv`` probe, so FIFO/causal-delivery checking spans shards.
+Cross-shard co-channel interference (invisible to the per-shard
+monitors) is checked after the run by replaying the frontier cells'
+``channel.acquired``/``channel.released`` logs against the topology.
+
+**Scope.**  Sharded execution requires the deterministic latency model
+(the uniform model draws from one global stream and has no useful
+minimum) and static calls (``mean_dwell=None``): a mid-call handoff
+migrates a call process into a neighboring cell's station with zero
+lookahead, which a conservative scheme cannot honor across a boundary.
+:func:`validate_shardable` enforces both with actionable errors.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cellular import CellularTopology
+from ..metrics import AcquisitionRecord, MetricsCollector
+from ..obs import ObsData
+from ..sim import RemoteRecord, ShardPlan, ShardPort, plan_shards
+from ..verify import get_default_policy, set_default_policy
+from .config import Scenario
+from .runner import Report, build_simulation
+
+__all__ = [
+    "ShardResult",
+    "validate_shardable",
+    "run_sharded",
+    "run_sharded_results",
+    "merge_shard_results",
+]
+
+#: One frontier-cell usage event: (time, op, cell, channel) with
+#: op 0 = release, 1 = acquire — tuple order sorts releases first at
+#: equal times, the conservative choice for the safety replay.
+_Usage = Tuple[float, int, int, int]
+
+
+def validate_shardable(scenario: Scenario, shards: int) -> None:
+    """Raise ``ValueError`` when a scenario cannot be sharded."""
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if scenario.latency_model != "deterministic":
+        raise ValueError(
+            "sharded execution requires latency_model='deterministic': "
+            "the conservative lookahead is the latency model's minimum "
+            f"delay, and the {scenario.latency_model!r} model draws "
+            "from a single global stream (shard-variant by construction)"
+        )
+    if scenario.mean_dwell is not None:
+        raise ValueError(
+            "sharded execution requires static calls (mean_dwell=None): "
+            "a handoff migrates the call process into the neighbor "
+            "cell's station with zero lookahead, which the window "
+            "scheme cannot honor across a shard boundary"
+        )
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard measured, reduced to plain picklable data."""
+
+    shard: int
+    records: List[AcquisitionRecord] = field(default_factory=list)
+    releases: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    faults_recovered: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    retry_exhausted: int = 0
+    #: Messages sent since warmup by this shard's stations.
+    messages_total: int = 0
+    messages_by_kind: Dict[str, int] = field(default_factory=dict)
+    mode_changes: int = 0
+    local_acquires: int = 0
+    local_notify: int = 0
+    #: Intra-shard interference violations (local monitor).
+    violations: int = 0
+    calls_started: int = 0
+    calls_completed: int = 0
+    #: Frontier-cell channel usage log for the cross-shard replay.
+    usage: List[_Usage] = field(default_factory=list)
+    #: Envelopes exported to other shards.
+    exported: int = 0
+    #: Events this shard's kernel processed (includes one window-stop
+    #: event per window — diagnostic, not a parity quantity).
+    processed_events: int = 0
+    #: CPU seconds this shard's stack spent (build + all windows).  In
+    #: process mode this is per worker process, so ``max(cpu_s)`` over
+    #: shards approximates the run's critical path; in inline mode all
+    #: shards share one process and the split is not meaningful.
+    cpu_s: float = 0.0
+    obs: Optional[ObsData] = None
+
+
+class _ShardRun:
+    """One shard's live stack plus its window-stepping interface."""
+
+    def __init__(
+        self, scenario: Scenario, plan: ShardPlan, shard: int
+    ) -> None:
+        self._cpu0 = time.process_time()
+        self.scenario = scenario
+        self.plan = plan
+        self.shard = shard
+        self.port = ShardPort(shard, plan.owner)
+        sim = build_simulation(
+            scenario, cells=plan.cells_of(shard), shard_port=self.port
+        )
+        self.sim = sim
+        if sim.sanitizers is not None:
+            stamps = sim.sanitizers.vector_clock._stamps
+            self.port.stamp_of = lambda seq: stamps.pop(seq, None)
+        #: Frontier-cell usage log (empty when the shard has no
+        #: frontier, i.e. shards=1).
+        self.usage: List[_Usage] = []
+        frontier = frozenset(plan.frontier_of(shard))
+        if frontier:
+            env = sim.env
+            usage = self.usage
+
+            def on_acquired(now: float, payload: Tuple[int, int]) -> None:
+                cell, channel = payload
+                if cell in frontier:
+                    usage.append((now, 1, cell, channel))
+
+            def on_released(now: float, payload: Tuple[int, int]) -> None:
+                cell, channel = payload
+                if cell in frontier:
+                    usage.append((now, 0, cell, channel))
+
+            env.subscribe("channel.acquired", on_acquired)
+            env.subscribe("channel.released", on_released)
+        # Same start-of-run choreography as Simulation.run().
+        env = sim.env
+        warmup = scenario.warmup
+
+        def at_warmup():
+            yield env.timeout(warmup)
+            sim.metrics.snapshot_message_baseline(sim.network)
+
+        env.process(at_warmup())
+        sim.source.start()
+
+    def inject(self, records: Sequence[RemoteRecord]) -> None:
+        network = self.sim.network
+        for record in records:
+            network.inject_remote(record)
+
+    def advance(self, until: float) -> None:
+        self.sim.env.run(until=until)
+
+    def drain(self) -> List[RemoteRecord]:
+        return self.port.drain()
+
+    def result(self) -> ShardResult:
+        sim = self.sim
+        m = sim.metrics
+        stations = sim.stations.values()
+        return ShardResult(
+            shard=self.shard,
+            records=list(m.records),
+            releases=m.releases,
+            faults_injected=dict(m.faults_injected),
+            faults_recovered=dict(m.faults_recovered),
+            retries=m.retries,
+            retry_exhausted=m.retry_exhausted,
+            messages_total=m.messages_since_warmup(sim.network),
+            messages_by_kind=m.messages_by_kind(sim.network),
+            mode_changes=sum(getattr(s, "mode_changes", 0) for s in stations),
+            local_acquires=sum(
+                getattr(s, "local_acquires", 0) for s in stations
+            ),
+            local_notify=sum(
+                getattr(s, "local_notify_sum", 0) for s in stations
+            ),
+            violations=len(sim.monitor.violations),
+            calls_started=sim.source.log.started,
+            calls_completed=sim.source.log.completed,
+            usage=self.usage,
+            exported=self.port.exported,
+            processed_events=sim.env._eid - len(sim.env._queue),
+            cpu_s=time.process_time() - self._cpu0,
+            obs=(
+                sim.observer.collect() if sim.observer is not None else None
+            ),
+        )
+
+
+# -- window loop -----------------------------------------------------------
+
+
+def _windows(duration: float, T: float):
+    """Yield the window-end times 1*T, 2*T, ... capped at ``duration``.
+
+    Boundaries are computed as ``k * T`` (not accumulated) so float
+    drift cannot desynchronize shards from the classic kernel's idea
+    of, e.g., the warmup instant.
+    """
+    k = 0
+    t = 0.0
+    while t < duration:
+        k += 1
+        t = min(k * T, duration)
+        yield t
+
+
+def _route(
+    plan: ShardPlan, drains: Sequence[Sequence[RemoteRecord]]
+) -> List[List[RemoteRecord]]:
+    """Group drained records by destination shard, in merge order."""
+    buckets: List[List[RemoteRecord]] = [[] for _ in range(plan.shards)]
+    owner = plan.owner
+    for drained in drains:
+        for record in drained:
+            buckets[owner[record.dst]].append(record)
+    for bucket in buckets:
+        # Payloads are excluded from the key: the five leading fields
+        # already totally order every record one run can produce.
+        bucket.sort(key=lambda r: r[:5])
+    return buckets
+
+
+def _run_inline(
+    scenario: Scenario, plan: ShardPlan
+) -> List[ShardResult]:
+    """All shards in this process, round-robin per window.
+
+    Exactly the protocol of the process mode minus the transport —
+    kept as the reference implementation (and the fast path for tests,
+    which care about parity, not wall-clock).
+    """
+    runs = [_ShardRun(scenario, plan, s) for s in range(plan.shards)]
+    pending: List[List[RemoteRecord]] = [[] for _ in runs]
+    for until in _windows(scenario.duration, scenario.latency_T):
+        drains = []
+        for run, records in zip(runs, pending):
+            run.inject(records)
+            run.advance(until)
+            drains.append(run.drain())
+        pending = _route(plan, drains)
+    return [run.result() for run in runs]
+
+
+def _shard_worker(
+    conn: Any,
+    scenario: Scenario,
+    plan: ShardPlan,
+    shard: int,
+    policy: Optional[str],
+) -> None:
+    """Spawn-safe worker: one shard kernel driven over a pipe.
+
+    Protocol: parent sends ``("window", until, records)`` per window
+    and finally ``("finish",)``; the worker answers ``("drained",
+    records)`` per window and ``("result", ShardResult)`` at the end.
+    Any exception is shipped back as ``("error", traceback)``.
+    """
+    try:
+        if get_default_policy() != policy:
+            set_default_policy(policy)
+        run = _ShardRun(scenario, plan, shard)
+        conn.send(("ready",))
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "window":
+                _, until, records = message
+                run.inject(records)
+                run.advance(until)
+                conn.send(("drained", run.drain()))
+            elif tag == "finish":
+                conn.send(("result", run.result()))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown coordinator message {tag!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+def _expect(conn: Any, shard: int, tag: str) -> Tuple[Any, ...]:
+    message = conn.recv()
+    if message[0] == "error":
+        raise RuntimeError(
+            f"shard {shard} failed:\n{message[1]}"
+        )
+    if message[0] != tag:
+        raise RuntimeError(
+            f"shard {shard}: expected {tag!r}, got {message[0]!r}"
+        )
+    return message
+
+
+def _run_process(
+    scenario: Scenario, plan: ShardPlan
+) -> List[ShardResult]:
+    """One worker process per shard, barrier-synchronized over pipes."""
+    ctx = multiprocessing.get_context("spawn")
+    policy = get_default_policy()
+    conns = []
+    procs = []
+    try:
+        for shard in range(plan.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, scenario, plan, shard, policy),
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        for shard, conn in enumerate(conns):
+            _expect(conn, shard, "ready")
+        pending: List[List[RemoteRecord]] = [[] for _ in conns]
+        for until in _windows(scenario.duration, scenario.latency_T):
+            for conn, records in zip(conns, pending):
+                conn.send(("window", until, records))
+            drains = [
+                _expect(conn, shard, "drained")[1]
+                for shard, conn in enumerate(conns)
+            ]
+            pending = _route(plan, drains)
+        results = []
+        for shard, conn in enumerate(conns):
+            conn.send(("finish",))
+            results.append(_expect(conn, shard, "result")[1])
+        return results
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join()
+
+
+# -- merging ---------------------------------------------------------------
+
+
+def _cross_shard_violations(
+    topo: CellularTopology, plan: ShardPlan, usage: List[_Usage]
+) -> int:
+    """Replay the merged frontier usage log; count boundary violations.
+
+    Only pairs owned by *different* shards are counted — same-shard
+    pairs were already checked live by that shard's monitor.  At equal
+    times releases replay before acquires (the log's tuple order), the
+    conservative direction: a reuse that is legal under any
+    interleaving is never flagged.
+    """
+    usage = sorted(usage)
+    holders: Dict[int, set] = {}
+    owner = plan.owner
+    count = 0
+    for _time, op, cell, channel in usage:
+        users = holders.setdefault(channel, set())
+        if op == 0:
+            users.discard(cell)
+            continue
+        shard = owner[cell]
+        region = topo.IN(cell)
+        for other in users:
+            if other in region and owner[other] != shard:
+                count += 1
+        users.add(cell)
+    return count
+
+
+def _merge_obs(parts: List[Optional[ObsData]]) -> Optional[ObsData]:
+    """Combine per-shard ObsData into one run-level container.
+
+    Spans/instants are concatenated and re-sorted on stable domain
+    keys; the per-cell time series merge on their (disjoint) cell
+    keys; kernel vitals are per-kernel by nature and nest under a
+    ``"shards"`` list.
+    """
+    present = [p for p in parts if p is not None]
+    if not present:
+        return None
+    out = ObsData(config=dict(present[0].config))
+    spans: List[Dict[str, Any]] = []
+    open_spans: List[Dict[str, Any]] = []
+    instants: List[List[Any]] = []
+    for part in present:
+        spans.extend(part.spans)
+        open_spans.extend(part.open_spans)
+        instants.extend(part.instants)
+        for key, value in part.span_stats.items():
+            out.span_stats[key] = out.span_stats.get(key, 0) + value
+    spans.sort(key=lambda s: (s.get("t_begin") or 0.0, s.get("cell", -1)))
+    open_spans.sort(key=lambda s: (s.get("cell", -1), s.get("t_begin") or 0.0))
+    instants.sort(key=lambda i: (i[0], str(i[1]), str(i[2])))
+    out.spans = spans
+    out.open_spans = open_spans
+    out.instants = instants
+    with_series = [p for p in present if p.series]
+    if with_series:
+        first = with_series[0].series
+        times = max(
+            (p.series.get("times", []) for p in with_series), key=len
+        )
+        cells: Dict[Any, Any] = {}
+        for part in with_series:
+            cells.update(part.series.get("cells", {}))
+        out.series = {
+            "interval": first.get("interval"),
+            "times": times,
+            "cells": cells,
+        }
+    kernels = [p.kernel for p in present if p.kernel]
+    if kernels:
+        out.kernel = {"shards": kernels}
+    return out
+
+
+def merge_shard_results(
+    scenario: Scenario,
+    plan: ShardPlan,
+    results: List[ShardResult],
+    topo: Optional[CellularTopology] = None,
+) -> Report:
+    """Fold per-shard results into one :class:`Report`.
+
+    Every merged quantity is either a sum over shards, an
+    order-insensitive statistic over the concatenated acquisition
+    records, or the cross-shard safety replay — so the merge is
+    deterministic for any shard count.
+    """
+    merged = MetricsCollector(warmup=scenario.warmup)
+    for result in results:
+        merged.records.extend(result.records)
+        merged.releases += result.releases
+        merged.retries += result.retries
+        merged.retry_exhausted += result.retry_exhausted
+        for kind, n in sorted(result.faults_injected.items()):
+            merged.faults_injected[kind] = (
+                merged.faults_injected.get(kind, 0) + n
+            )
+        for kind, n in sorted(result.faults_recovered.items()):
+            merged.faults_recovered[kind] = (
+                merged.faults_recovered.get(kind, 0) + n
+            )
+    merged.records.sort(key=lambda r: (r.time, r.cell))
+
+    messages_total = sum(r.messages_total for r in results)
+    by_kind: Dict[str, int] = {}
+    for result in results:
+        for kind, n in result.messages_by_kind.items():
+            by_kind[kind] = by_kind.get(kind, 0) + n
+    by_kind = dict(sorted(by_kind.items()))
+
+    violations = sum(r.violations for r in results)
+    usage = [u for r in results for u in r.usage]
+    if usage and plan.shards > 1:
+        if topo is None:
+            topo = _topology(scenario)
+        violations += _cross_shard_violations(topo, plan, usage)
+
+    local_acquires = sum(r.local_acquires for r in results)
+    local_notify = sum(r.local_notify for r in results)
+    times = merged.acquisition_times()
+    waits = merged.queue_waits()
+    return Report(
+        scenario=scenario,
+        offered=merged.offered,
+        granted=merged.granted,
+        dropped=merged.dropped,
+        drop_rate=merged.drop_rate,
+        new_call_block_rate=merged.drop_rate_of("new"),
+        handoff_failure_rate=merged.drop_rate_of("handoff"),
+        mean_acquisition_time=merged.mean_acquisition_time(),
+        p95_acquisition_time=merged.acquisition_time_percentile(95),
+        max_acquisition_time=float(times.max()) if times.size else 0.0,
+        mean_queue_wait=float(waits.mean()) if waits.size else 0.0,
+        mean_attempts=merged.mean_attempts(),
+        max_attempts=merged.max_attempts(),
+        mode_fractions=merged.mode_fractions(),
+        messages_total=messages_total,
+        messages_by_kind=by_kind,
+        messages_per_acquisition=(
+            messages_total / merged.offered if merged.offered else 0.0
+        ),
+        fairness_index=merged.fairness_index(),
+        per_cell_drop_rates=merged.per_cell_drop_rates(),
+        violations=violations,
+        mode_changes=sum(r.mode_changes for r in results),
+        calls_started=sum(r.calls_started for r in results),
+        calls_completed=sum(r.calls_completed for r in results),
+        duration=scenario.duration - scenario.warmup,
+        measured_n_borrow=(
+            local_notify / local_acquires if local_acquires else 0.0
+        ),
+        faults_injected=dict(merged.faults_injected),
+        faults_recovered=dict(merged.faults_recovered),
+        retries=merged.retries,
+        retry_exhausted=merged.retry_exhausted,
+        obs=_merge_obs([r.obs for r in results]),
+        metrics=merged,
+    )
+
+
+def _topology(scenario: Scenario) -> CellularTopology:
+    return CellularTopology(
+        scenario.rows,
+        scenario.cols,
+        num_channels=scenario.num_channels,
+        cluster_size=scenario.cluster_size,
+        interference_radius=scenario.interference_radius,
+        wrap=scenario.wrap,
+        channels_per_color=scenario.channels_per_color,
+    )
+
+
+def run_sharded_results(
+    scenario: Scenario, shards: int, mode: str = "process"
+) -> Tuple[ShardPlan, List[ShardResult]]:
+    """Run sharded and return the raw per-shard results (unmerged).
+
+    For callers that want per-shard diagnostics — the bench driver
+    reads ``cpu_s`` per worker to compute the critical-path speedup —
+    before folding into a :class:`Report` via
+    :func:`merge_shard_results`.
+    """
+    validate_shardable(scenario, shards)
+    plan = plan_shards(_topology(scenario), shards)
+    if mode == "inline" or plan.shards == 1:
+        return plan, _run_inline(scenario, plan)
+    if mode == "process":
+        return plan, _run_process(scenario, plan)
+    raise ValueError(f"unknown shard mode {mode!r}")
+
+
+def run_sharded(
+    scenario: Scenario, shards: int, mode: str = "process"
+) -> Report:
+    """Run one scenario over ``shards`` conservatively synced kernels.
+
+    ``mode="process"`` (the default, and what ``run_scenario(...,
+    shards=N)`` uses) runs one spawn-context worker process per shard;
+    ``mode="inline"`` runs every shard kernel in this process with the
+    same window/merge protocol — bit-identical results, no spawn cost,
+    no parallelism (used by the parity tests and as the reference
+    implementation of the protocol).
+    """
+    plan, results = run_sharded_results(scenario, shards, mode=mode)
+    return merge_shard_results(scenario, plan, results)

@@ -121,10 +121,18 @@ class TimeSeriesRecorder:
                 else:
                     predicted = None
                 self.nfc_predicted[cell].append(predicted)
-                neighbors = getattr(station, "IN", ())
+                # In a sharded run this kernel hosts only its band of
+                # the grid; a frontier cell's neighborhood load averages
+                # its same-shard neighbors (remote occupancy is not
+                # observable live, and this series is diagnostic only).
+                neighbors = [
+                    stations[j]
+                    for j in getattr(station, "IN", ())
+                    if j in stations
+                ]
                 if neighbors:
                     load = sum(
-                        len(stations[j].use) for j in neighbors
+                        len(s.use) for s in neighbors
                     ) / len(neighbors)
                 else:
                     load = 0.0

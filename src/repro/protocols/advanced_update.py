@@ -160,8 +160,8 @@ class AdvancedUpdateMSS(MSS):
             # ``n_p (m-1)`` extra messages) and avoid re-requesting the
             # same channel this request.
             refused.add(channel)
-            for p, verdict in verdicts.items():
-                if verdict in (ResType.GRANT, ResType.CONDITIONAL_GRANT):
+            for p in sorted(verdicts):
+                if verdicts[p] in (ResType.GRANT, ResType.CONDITIONAL_GRANT):
                     self._send(p, Release(self.cell, channel))
         return None
 

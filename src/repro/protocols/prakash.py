@@ -202,8 +202,8 @@ class PrakashMSS(MSS):
                 return channel
             # Some donor KEEPs: undo the AGREEd pledges and move on.
             self._claiming = None
-            for donor, reply in replies.items():
-                if reply.granted:
+            for donor in sorted(replies):
+                if replies[donor].granted:
                     self._send(donor, Release(self.cell, channel))
             refused.add(channel)
         return None

@@ -130,6 +130,29 @@ class Environment:
         _heappush(self._queue, (self._now + delay, NORMAL, eid, event))
         return event
 
+    def timeout_at(self, at: float, value: Any = None) -> Timeout:
+        """Create an event triggering at the *absolute* time ``at``.
+
+        Same as :meth:`timeout` with ``delay = at - now``, except the
+        scheduled time is exactly ``at`` — ``now + (at - now)`` can
+        land one ulp off, which matters to consumers that must
+        reproduce a delivery time bit-for-bit (the inter-shard router
+        re-scheduling an exported envelope on its destination kernel).
+        """
+        if at < self._now:
+            raise ValueError(f"cannot schedule at {at}, now is {self._now}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._processed = False
+        event.delay = at - self._now
+        self._eid = eid = self._eid + 1
+        _heappush(self._queue, (at, NORMAL, eid, event))
+        return event
+
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None
     ) -> Process:

@@ -205,6 +205,12 @@ class Network:
         #: per send for drop/duplicate/delay/reorder decisions and per
         #: delivery for crashed destinations.  None = perfect network.
         self.injector: Optional[Any] = None
+        #: Optional inter-shard router port (see
+        #: :class:`repro.sim.sharding.ShardPort`).  When attached,
+        #: sends to cells this kernel does not own are accounted here
+        #: (counters, hooks, probes, FIFO floor) and exported to the
+        #: destination shard instead of being scheduled locally.
+        self.shard_port: Optional[Any] = None
         #: Total messages sent, by payload type name.
         self.sent_by_kind: Dict[str, int] = {}
         #: Total messages sent overall.
@@ -247,8 +253,12 @@ class Network:
         default a fresh per-network id is assigned.  ``fault_tag``
         labels ARQ retransmissions for the sanitizers.
         """
+        remote = False
         if dst not in self._nodes:
-            raise KeyError(f"unknown destination node {dst}")
+            port = self.shard_port
+            if port is None or not port.routes(dst) or port.owns(dst):
+                raise KeyError(f"unknown destination node {dst}")
+            remote = True
         env = self.env
         now = env._now
         latency = self.latency
@@ -262,7 +272,9 @@ class Network:
         if msg_id is None:
             self._msg_id = msg_id = self._msg_id + 1
         if self.injector is not None:
-            return self._send_faulty(src, dst, payload, delay, msg_id, fault_tag)
+            return self._send_faulty(
+                src, dst, payload, delay, msg_id, fault_tag, remote
+            )
         deliver_at = now + delay
         if self.fifo:
             link = (src, dst)
@@ -291,6 +303,9 @@ class Network:
                 hook(env_msg)
         env.emit("net.send", env_msg)
 
+        if remote:
+            self.shard_port.export(env_msg)
+            return env_msg
         delivery = env.timeout(deliver_at - now, env_msg)
         delivery.callbacks.append(self._deliver)
         return env_msg
@@ -303,6 +318,7 @@ class Network:
         delay: float,
         msg_id: int,
         fault_tag: Optional[str],
+        remote: bool = False,
     ) -> Envelope:
         """Slow path: route the send through the fault injector.
 
@@ -337,8 +353,11 @@ class Network:
             env_msg = Envelope(src, dst, payload, now, deliver_at, seq, msg_id, tag)
             if primary is None:
                 primary = env_msg
-            delivery = env.timeout(deliver_at - now, env_msg)
-            delivery.callbacks.append(self._deliver)
+            if remote:
+                self.shard_port.export(env_msg)
+            else:
+                delivery = env.timeout(deliver_at - now, env_msg)
+                delivery.callbacks.append(self._deliver)
         if primary is None:
             # Dropped at send time: account for the send, deliver nothing.
             self._seq = seq = self._seq + 1
@@ -366,6 +385,38 @@ class Network:
             self.send(src, dst, payload)
             count += 1
         return count
+
+    def inject_remote(self, record: Any) -> Envelope:
+        """Schedule delivery of a cross-shard envelope on this kernel.
+
+        Called by the shard coordinator at a window barrier with a
+        :class:`~repro.sim.sharding.RemoteRecord` exported by another
+        shard's network.  The record's delivery time is already final
+        (latency, fault delays and the sender-side FIFO floor are
+        applied where the send happened); this side only assigns a
+        fresh local scheduling sequence number — injection order is the
+        coordinator's deterministic merge order, so per-link sequence
+        numbers remain monotone in delivery order and the FIFO/vector
+        -clock sanitizers keep checking cross-shard links.  The
+        ``shard.recv`` probe announces the arrival (with the sender's
+        vector-clock stamp, if any) before the delivery is scheduled.
+        """
+        self._seq = seq = self._seq + 1
+        env_msg = Envelope(
+            record.src,
+            record.dst,
+            record.payload,
+            record.sent_at,
+            record.deliver_at,
+            seq,
+            record.msg_id,
+            record.fault_tag,
+        )
+        env = self.env
+        env.emit("shard.recv", (env_msg, record.clock))
+        delivery = env.timeout_at(record.deliver_at, env_msg)
+        delivery.callbacks.append(self._deliver)
+        return env_msg
 
     def _deliver(self, event: Any) -> None:
         env_msg: Envelope = event._value

@@ -23,7 +23,7 @@ def test_fifo_links_required_and_violation_detected():
         latency_model="uniform",
         latency_spread=2.0,
         fifo=False,  # adversarial: allow message overtaking
-        seed=3,
+        seed=4,
     )
     with pytest.raises(AssertionError, match="second search response"):
         run_scenario(scenario)
@@ -38,7 +38,7 @@ def test_same_load_with_fifo_is_clean():
         latency_model="uniform",
         latency_spread=2.0,
         fifo=True,
-        seed=3,
+        seed=4,
     )
     rep = run_scenario(scenario)
     assert rep.violations == 0

@@ -42,11 +42,27 @@ if __package__ in (None, ""):  # `python tools/bench.py` from the repo root
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 try:
-    from repro.harness import ResultCache, Scenario, build_simulation, sweep
+    from repro.harness import (
+        ResultCache,
+        Scenario,
+        build_simulation,
+        run_scenario,
+        run_sharded_results,
+        merge_shard_results,
+        sweep,
+    )
     from repro.sim.engine import EmptySchedule
 except ImportError:  # `python -m tools.bench` without PYTHONPATH=src
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
-    from repro.harness import ResultCache, Scenario, build_simulation, sweep
+    from repro.harness import (
+        ResultCache,
+        Scenario,
+        build_simulation,
+        run_scenario,
+        run_sharded_results,
+        merge_shard_results,
+        sweep,
+    )
     from repro.sim.engine import EmptySchedule
 
 SCHEMA = 1
@@ -85,6 +101,19 @@ PROFILES = {
             duration=600.0,
             warmup=100.0,
         ),
+        # Large grid so per-window compute dominates the per-window
+        # barrier cost; 784 cells is ~16x the paper's system.
+        "sharded": dict(
+            scheme="basic_update",
+            rows=28,
+            cols=28,
+            offered_load=5.0,
+            duration=400.0,
+            warmup=100.0,
+            seed=42,
+            shard_counts=[2, 4],
+            min_speedup=2.5,
+        ),
     },
     "smoke": {
         "kernel": dict(offered_load=8.0, duration=300.0, warmup=50.0, seed=101),
@@ -95,6 +124,20 @@ PROFILES = {
             offered_load=6.0,
             duration=300.0,
             warmup=50.0,
+        ),
+        # Small enough for CI; the barrier overhead is proportionally
+        # larger here, so the gate only demands parity plus a loose
+        # critical-path floor — the 2.5x claim is the full profile's.
+        "sharded": dict(
+            scheme="basic_update",
+            rows=14,
+            cols=14,
+            offered_load=5.0,
+            duration=200.0,
+            warmup=50.0,
+            seed=42,
+            shard_counts=[2, 4],
+            min_speedup=0.8,
         ),
     },
 }
@@ -211,6 +254,109 @@ def bench_cache(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _parity_row(report) -> List[Any]:
+    """The exact-equality fingerprint used for shard parity checks."""
+    return [
+        report.offered,
+        report.granted,
+        report.drop_rate,
+        report.mean_acquisition_time,
+        report.messages_total,
+        report.violations,
+        report.calls_completed,
+    ]
+
+
+def bench_sharded(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Space-parallel kernel: classic vs sharded on a large grid.
+
+    Records, per shard count, the wall time (hardware-bound: on a
+    single-core runner four shard processes cannot beat one) and the
+    **critical-path speedup** — classic CPU seconds divided by the
+    slowest shard worker's CPU seconds plus the coordinator's — which
+    is what the wall speedup converges to given >= shards free cores,
+    and is stable across machines, so it is the gated quantity.
+    events/s figures are kernel events over the same two denominators.
+    """
+    scenario = Scenario(
+        scheme=spec["scheme"],
+        rows=spec["rows"],
+        cols=spec["cols"],
+        offered_load=spec["offered_load"],
+        duration=spec["duration"],
+        warmup=spec["warmup"],
+        seed=spec["seed"],
+    )
+    windows = int(-(-spec["duration"] // 1))  # duration / latency_T (=1)
+
+    c0 = time.process_time()
+    w0 = time.perf_counter()
+    classic = run_scenario(scenario)
+    classic_cpu = time.process_time() - c0
+    classic_wall = time.perf_counter() - w0
+    classic_row = _parity_row(classic)
+
+    out: Dict[str, Any] = {
+        "grid": f"{spec['rows']}x{spec['cols']}",
+        "scheme": spec["scheme"],
+        "duration": spec["duration"],
+        "classic": {
+            "cpu_s": round(classic_cpu, 3),
+            "wall_s": round(classic_wall, 3),
+        },
+        "rows_identical": True,
+        "shards": {},
+    }
+    for shards in spec["shard_counts"]:
+        c0 = time.process_time()
+        w0 = time.perf_counter()
+        plan, results = run_sharded_results(scenario, shards, mode="process")
+        coord_cpu = time.process_time() - c0
+        wall = time.perf_counter() - w0
+        report = merge_shard_results(scenario, plan, results)
+        if _parity_row(report) != classic_row:
+            out["rows_identical"] = False
+        # Kernel events, net of the one stop event each window costs
+        # every shard (a windowing artifact, not simulation work).
+        events = sum(r.processed_events for r in results) - shards * windows
+        critical = max(r.cpu_s for r in results) + coord_cpu
+        out["shards"][str(shards)] = {
+            "wall_s": round(wall, 3),
+            "coordinator_cpu_s": round(coord_cpu, 3),
+            "max_shard_cpu_s": round(max(r.cpu_s for r in results), 3),
+            "events": events,
+            "cross_shard_messages": sum(r.exported for r in results),
+            "events_per_s_wall": int(events / wall) if wall else 0,
+            "events_per_s_critical_path": (
+                int(events / critical) if critical else 0
+            ),
+            "speedup_wall": round(classic_wall / wall, 2) if wall else 0.0,
+            "speedup_critical_path": (
+                round(classic_cpu / critical, 2) if critical else 0.0
+            ),
+        }
+    return out
+
+
+def check_sharded(
+    result: Dict[str, Any], spec: Dict[str, Any]
+) -> List[str]:
+    """Gate: shard parity must hold; critical-path speedup must not
+    regress below the profile's floor at the highest shard count."""
+    problems = []
+    if not result["rows_identical"]:
+        problems.append("sharded: report rows differ from the classic kernel")
+    top = str(max(spec["shard_counts"]))
+    speedup = result["shards"][top]["speedup_critical_path"]
+    floor = spec["min_speedup"]
+    if speedup < floor:
+        problems.append(
+            f"sharded: critical-path speedup {speedup}x at {top} shards "
+            f"is below the {floor}x floor for this profile"
+        )
+    return problems
+
+
 def check_regression(
     fresh: Dict[str, Any], committed: Dict[str, Any], threshold: float
 ) -> List[str]:
@@ -310,6 +456,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: warm cache rows differ from cold run", file=sys.stderr)
             return 1
 
+        sharded_result = bench_sharded(spec["sharded"])
+        classic = sharded_result["classic"]
+        print(
+            f"sharded: {sharded_result['grid']} {sharded_result['scheme']}  "
+            f"classic {classic['cpu_s']}s cpu / {classic['wall_s']}s wall"
+        )
+        for count, entry in sharded_result["shards"].items():
+            print(
+                f"  shards={count}  wall {entry['wall_s']}s  "
+                f"critical path {entry['max_shard_cpu_s']}s+"
+                f"{entry['coordinator_cpu_s']}s coord  "
+                f"speedup {entry['speedup_critical_path']}x critical-path "
+                f"({entry['speedup_wall']}x wall)  "
+                f"{entry['events_per_s_critical_path']} ev/s  "
+                f"{entry['cross_shard_messages']} cross-shard msgs"
+            )
+        print(f"  rows identical across shard counts: "
+              f"{sharded_result['rows_identical']}")
+        section["sharded"] = sharded_result
+        if not sharded_result["rows_identical"]:
+            print(
+                "error: sharded rows differ from the classic kernel",
+                file=sys.stderr,
+            )
+            return 1
+
     failures: List[str] = []
     if args.check:
         baseline = committed.get("profiles", {}).get(profile, {}).get("kernel", {})
@@ -320,6 +492,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
         failures = check_regression(kernel, baseline, args.threshold)
+        if not args.no_sweep:
+            failures += check_sharded(sharded_result, spec["sharded"])
         for failure in failures:
             print(f"REGRESSION  {failure}", file=sys.stderr)
 
