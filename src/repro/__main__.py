@@ -88,6 +88,28 @@ def build_parser() -> argparse.ArgumentParser:
         "always simulate",
     )
     p.add_argument(
+        "--checkpoint-at", type=float, default=None, metavar="T",
+        help="run the scenario to sim-time T, capture a snapshot at "
+        "the first safe point, write it to --checkpoint-out, and exit "
+        "(T=0 captures a cold t0 snapshot; see docs/TUTORIAL.md)",
+    )
+    p.add_argument(
+        "--checkpoint-out", type=str, default="checkpoint.snap",
+        metavar="PATH", help="snapshot output path for --checkpoint-at",
+    )
+    p.add_argument(
+        "--from-checkpoint", type=str, default=None, metavar="PATH",
+        help="resume from a snapshot file instead of building the "
+        "scenario from flags: restore, run to the horizon, report; "
+        "combine with --fork-seed to fork a fresh replication",
+    )
+    p.add_argument(
+        "--fork-seed", type=int, default=None, metavar="K",
+        help="with --from-checkpoint: fork the snapshot under seed K "
+        "(reseeds every post-fork random stream) instead of exactly "
+        "continuing the recorded run",
+    )
+    p.add_argument(
         "--config", type=str, default=None, metavar="FILE",
         help="load the scenario from a JSON file (other scenario flags "
         "are ignored; --scheme/--all-schemes still apply)",
@@ -162,7 +184,75 @@ def report_dict(report) -> dict:
     }
 
 
+def snapshot_main(argv) -> int:
+    """``python -m repro snapshot inspect FILE [...]`` subcommand."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro snapshot",
+        description="Inspect snapshot files (see repro.snap).",
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+    inspect = sub.add_parser(
+        "inspect", help="print a snapshot's identity and contents summary"
+    )
+    inspect.add_argument("files", nargs="+", metavar="FILE")
+    inspect.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = p.parse_args(argv)
+
+    from .harness import Scenario
+    from .snap import load_snapshot
+
+    out = []
+    for path in args.files:
+        snap = load_snapshot(path)
+        scenario = Scenario.from_json(snap.scenario_json)
+        queue = snap.state.get("queue")
+        kinds: dict = {}
+        for entry in queue or ():
+            kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+        out.append({
+            "file": path,
+            "version": snap.version,
+            "content_hash": snap.content_hash(),
+            "time": snap.time,
+            "started": snap.started,
+            "scheme": scenario.scheme,
+            "seed": scenario.seed,
+            "grid": f"{scenario.rows}x{scenario.cols}",
+            "duration": scenario.duration,
+            "warmup": scenario.warmup,
+            "rng_streams": len(snap.state.get("streams", {})),
+            "queue_entries": None if queue is None else len(queue),
+            "queue_kinds": kinds,
+        })
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        for info in out:
+            print(f"{info['file']}:")
+            print(f"  format v{info['version']}  hash {info['content_hash'][:16]}…")
+            print(
+                f"  scheme={info['scheme']}  seed={info['seed']}  "
+                f"grid={info['grid']}  duration={info['duration']:g} "
+                f"(warmup {info['warmup']:g})"
+            )
+            state = "cold (t0, not started)" if not info["started"] else "warm"
+            print(f"  captured at t={info['time']:g}  [{state}]")
+            print(f"  rng streams: {info['rng_streams']}")
+            if info["queue_entries"] is not None:
+                by_kind = ", ".join(
+                    f"{k}={v}" for k, v in sorted(info["queue_kinds"].items())
+                )
+                print(f"  event queue: {info['queue_entries']} entries ({by_kind})")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "snapshot":
+        return snapshot_main(argv[1:])
     args = build_parser().parse_args(argv)
     schemes = sorted(SCHEMES) if args.all_schemes else [args.scheme]
 
@@ -171,6 +261,19 @@ def main(argv=None) -> int:
 
         for name in preset_names():
             print(name)
+        return 0
+
+    if args.from_checkpoint is not None:
+        from .snap import load_snapshot, run_from_snapshot
+
+        snap = load_snapshot(args.from_checkpoint)
+        report = run_from_snapshot(
+            snap, seed=args.fork_seed, shards=args.shards
+        )
+        if args.json:
+            print(json.dumps([report_dict(report)], indent=2))
+        else:
+            print(report.summary())
         return 0
 
     if args.config:
@@ -201,6 +304,19 @@ def main(argv=None) -> int:
 
     if args.dump_config:
         print(scenarios[0].to_json())
+        return 0
+
+    if args.checkpoint_at is not None:
+        from .snap import run_to_checkpoint, save_snapshot
+
+        snap = run_to_checkpoint(scenarios[0], args.checkpoint_at)
+        save_snapshot(snap, args.checkpoint_out)
+        kind = "warm" if snap.started else "cold (t0)"
+        print(
+            f"{kind} snapshot of scheme={scenarios[0].scheme} at "
+            f"t={snap.time:g} -> {args.checkpoint_out}"
+        )
+        print(f"content hash: {snap.content_hash()}")
         return 0
 
     reports = run_cells(

@@ -91,12 +91,26 @@ def code_stamp() -> str:
     return _code_stamp
 
 
-def cache_key(scenario: Scenario, salt: Optional[str] = None) -> Optional[str]:
+def cache_key(
+    scenario: Scenario,
+    salt: Optional[str] = None,
+    variant: Optional[str] = None,
+) -> Optional[str]:
     """Canonical content hash of ``scenario``, or None if uncacheable.
 
     The key covers every dataclass field including ``extra_params``
     (via the scenario's sorted-key JSON form) and is salted with
     ``salt`` (default: :func:`code_stamp`).
+
+    ``variant`` distinguishes results produced by a *different
+    execution recipe* for the same scenario.  The one stock producer is
+    warm-start forking (``variant="warm:<snapshot content hash>"``, see
+    :func:`repro.snap.fork_replications`): a replication forked from a
+    warmed-up checkpoint simulates a different trajectory than a cold
+    run of the same scenario, so the two must never share a cache row —
+    and two forks of *different* snapshots must not share one either,
+    which is why the snapshot's own content hash is part of the
+    variant string.
     """
     try:
         blob = scenario.to_json()
@@ -107,6 +121,9 @@ def cache_key(scenario: Scenario, salt: Optional[str] = None) -> Optional[str]:
     digest.update((salt if salt is not None else code_stamp()).encode())
     digest.update(b"\0")
     digest.update(blob.encode())
+    if variant is not None:
+        digest.update(b"\0variant\0")
+        digest.update(variant.encode())
     return digest.hexdigest()
 
 
@@ -139,9 +156,16 @@ class ResultCache:
         # Two-level fanout keeps directory listings manageable.
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, scenario: Scenario) -> Optional[Any]:
-        """Return the cached report for ``scenario``, or None."""
-        key = cache_key(scenario, self.salt)
+    def get(
+        self, scenario: Scenario, variant: Optional[str] = None
+    ) -> Optional[Any]:
+        """Return the cached report for ``scenario``, or None.
+
+        ``variant`` must match the value the entry was stored with (see
+        :func:`cache_key`); a plain run (``variant=None``) never reads a
+        warm-forked row and vice versa.
+        """
+        key = cache_key(scenario, self.salt, variant=variant)
         if key is None:
             self.misses += 1
             return None
@@ -153,21 +177,32 @@ class ResultCache:
             self.misses += 1
             return None
         # Guard against key collisions / foreign files: the stored
-        # scenario must match exactly.
-        if entry.get("key") != key or entry.get("scenario") != scenario.to_dict():
+        # scenario and variant must match exactly.
+        if (
+            entry.get("key") != key
+            or entry.get("scenario") != scenario.to_dict()
+            or entry.get("variant") != variant
+        ):
             self.misses += 1
             return None
         self.hits += 1
         return entry["report"]
 
-    def put(self, scenario: Scenario, report: Any) -> bool:
+    def put(
+        self, scenario: Scenario, report: Any, variant: Optional[str] = None
+    ) -> bool:
         """Store ``report`` under ``scenario``'s key; False if uncacheable."""
-        key = cache_key(scenario, self.salt)
+        key = cache_key(scenario, self.salt, variant=variant)
         if key is None:
             return False
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"key": key, "scenario": scenario.to_dict(), "report": report}
+        entry = {
+            "key": key,
+            "scenario": scenario.to_dict(),
+            "variant": variant,
+            "report": report,
+        }
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
             with open(tmp, "wb") as fh:

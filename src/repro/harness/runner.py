@@ -383,6 +383,7 @@ def run_replications(
     n: int,
     workers: Optional[int] = 1,
     cache: Any = None,
+    warmup_checkpoint: Any = None,
 ) -> List[Report]:
     """Run ``n`` independent replications (seeds seed, seed+1, ...).
 
@@ -390,7 +391,30 @@ def run_replications(
     one per CPU) with deterministically ordered results; ``cache``
     controls the persistent result cache (see
     :func:`repro.harness.cache.resolve_cache`).
+
+    ``warmup_checkpoint`` switches the sweep to *warm-start forking*
+    (see :mod:`repro.snap`): the scenario runs once to a checkpoint and
+    every replication forks from that snapshot under its own seed, so
+    the warmup transient is simulated once instead of ``n`` times.
+    Accepts a checkpoint instant (a float, typically
+    ``scenario.warmup``) or a ready-made
+    :class:`~repro.snap.Snapshot`.  Forked replications share the
+    pre-checkpoint trajectory by construction — they are exchangeable
+    draws of the post-checkpoint window, not fully independent runs —
+    and run serially in-process (``workers`` is ignored; the speedup
+    comes from skipping the warmup, and cache rows are keyed by the
+    snapshot hash so warm results never alias cold ones).
     """
+    if warmup_checkpoint is not None:
+        from ..snap import Snapshot, fork_replications, run_to_checkpoint
+
+        if isinstance(warmup_checkpoint, Snapshot):
+            snapshot = warmup_checkpoint
+        else:
+            snapshot = run_to_checkpoint(scenario, float(warmup_checkpoint))
+        seeds = [scenario.seed + i for i in range(n)]
+        return fork_replications(snapshot, n, cache=cache, seeds=seeds)
+
     # Local import: parallel builds on this module's run_scenario.
     from .parallel import run_cells
 

@@ -21,7 +21,8 @@ value renders as ``?`` everywhere instead of raising.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Optional
 
 __all__ = [
     "MODE_GLYPHS",
@@ -33,7 +34,9 @@ __all__ = [
 
 #: One ASCII glyph per mode value: ``.`` local, ``b`` borrowing-idle,
 #: ``U`` update round in flight, ``S`` search in flight.
-MODE_GLYPHS: Dict[int, str] = {0: ".", 1: "b", 2: "U", 3: "S"}
+MODE_GLYPHS: Mapping[int, str] = MappingProxyType(
+    {0: ".", 1: "b", 2: "U", 3: "S"}
+)
 
 #: Sentinel stored for mode values that are not (coercible to) a known
 #: mode int — e.g. the string ``"down"`` a future crash-aware station

@@ -23,6 +23,7 @@ from tools.analyze import (  # noqa: E402
     render_dot,
     run_flow_pass,
     run_shard_pass,
+    run_snapshot_pass,
     write_baseline,
 )
 from tools.analyze.__main__ import main as analyze_main  # noqa: E402
@@ -554,8 +555,113 @@ def test_cli_end_to_end(tmp_path, capsys):
 def test_list_passes(capsys):
     assert analyze_main(["--list-passes"]) == 0
     out = capsys.readouterr().out
-    for token in ("flow", "shard", "determinism", "SIM006", "SIM009"):
+    for token in ("flow", "shard", "snapshot", "determinism", "SIM006", "SIM009"):
         assert token in out
+
+
+# ------------------------------------------------------------------ ANA3xx ----
+def snapshot_findings(tmp_path, relpath, source):
+    path = write(tmp_path, relpath, source)
+    findings, report = run_snapshot_pass([path])
+    return findings, report
+
+
+def test_ana301_fires_on_unregistered_randomness(tmp_path):
+    findings, report = snapshot_findings(
+        tmp_path,
+        "src/repro/faults/sloppy.py",
+        """
+        import random
+        import numpy as np
+        from numpy.random import default_rng
+
+        def jitter():
+            return random.random() + np.random.rand()
+
+        def fresh():
+            return default_rng(7).random()
+        """,
+    )
+    assert codes(findings) == ["ANA301", "ANA301", "ANA301"]
+    assert report["verdict"] == "unsafe"
+
+
+def test_ana301_fires_on_from_random_import(tmp_path):
+    findings, _ = snapshot_findings(
+        tmp_path,
+        "src/repro/traffic/sloppy.py",
+        """
+        from random import expovariate
+        """,
+    )
+    assert codes(findings) == ["ANA301"]
+
+
+def test_ana301_silent_in_allowlisted_files(tmp_path):
+    # The registry itself and the adaptive tie-breaker are the
+    # sanctioned generator factories (captured by the state codec).
+    for relpath in ("src/repro/sim/rng.py", "src/repro/core/adaptive.py"):
+        findings, report = snapshot_findings(
+            tmp_path,
+            relpath,
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert findings == []
+        assert report["verdict"] == "safe"
+
+
+def test_ana302_and_ana303_fire_outside_shard_scope(tmp_path):
+    findings, report = snapshot_findings(
+        tmp_path,
+        "src/repro/metrics/sloppy.py",
+        """
+        TALLIES = {}
+
+        class Collector:
+            shared = []
+        """,
+    )
+    assert codes(findings) == ["ANA302", "ANA303"]
+    assert report["verdict"] == "unsafe"
+
+
+def test_ana302_ana303_defer_to_shard_pass_inside_its_scope(tmp_path):
+    # protocols/ is ANA202/ANA203 territory; the snapshot pass must not
+    # double-report the same defect under a second code.
+    findings, _ = snapshot_findings(
+        tmp_path,
+        "src/repro/protocols/sloppy.py",
+        """
+        TALLIES = {}
+
+        class Collector:
+            shared = []
+        """,
+    )
+    assert findings == []
+
+
+def test_snapshot_pass_ignores_out_of_scope_and_private_names(tmp_path):
+    findings, report = snapshot_findings(
+        tmp_path,
+        "src/repro/obs/tidy.py",
+        """
+        _PRIVATE_CACHE = {}
+        FROZEN = frozenset({1, 2})
+        """,
+    )
+    assert findings == []
+    out_of_scope = write(
+        tmp_path, "tools/bench_helper.py", "import random\n"
+    )
+    findings, report = run_snapshot_pass([out_of_scope])
+    assert findings == []
+    assert report["files_scanned"] == 0
 
 
 # ------------------------------------------------------------- real tree ----

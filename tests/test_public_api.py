@@ -49,11 +49,13 @@ def test_all_subpackage_exports_importable():
     import repro.metrics
     import repro.protocols
     import repro.sim
+    import repro.snap
     import repro.traffic
 
     for module in (
         repro.sim, repro.cellular, repro.protocols, repro.core,
         repro.traffic, repro.metrics, repro.analysis, repro.harness,
+        repro.snap,
     ):
         for name in module.__all__:
             assert getattr(module, name) is not None, (module, name)

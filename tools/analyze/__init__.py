@@ -14,7 +14,12 @@ Pass 2    Shard-safety escape analysis (ANA201–ANA203): no read/write
           the probe bus; no process-shared mutable class attributes or
           module globals in simulation scope.  Precondition gate for
           the sharded-DES roadmap item.  (``tools/analyze/shard.py``)
-Pass 3    Determinism lint family (SIM006–SIM009), run over the
+Pass 3    Snapshot-escape analysis (ANA301–ANA303): no unregistered
+          randomness and no mutable module/class-level state anywhere
+          the checkpoint state codec must cover.  Precondition gate
+          for bit-exact checkpoint/restore (``repro.snap``).
+          (``tools/analyze/snapshot.py``)
+Pass 4    Determinism lint family (SIM006–SIM009), run over the
           ``tools.check`` engine: unordered fan-out, identity
           ordering, ``popitem``, env-var control flow.
           (``tools/analyze/determinism.py``)
@@ -37,6 +42,7 @@ from .determinism import DETERMINISM_RULES
 from .flow import render_dot, run_flow_pass
 from .model import ProtocolModel, build_model
 from .shard import run_shard_pass
+from .snapshot import run_snapshot_pass
 
 __all__ = [
     "DEFAULT_BASELINE",
@@ -49,5 +55,6 @@ __all__ = [
     "render_dot",
     "run_flow_pass",
     "run_shard_pass",
+    "run_snapshot_pass",
     "write_baseline",
 ]

@@ -1,11 +1,11 @@
 """CLI entry point: ``python -m tools.analyze [paths...]``.
 
-Runs all three passes (message-flow, shard-safety, determinism lint)
-over the given paths (default ``src/repro``), compares the merged
-findings against the committed baseline, and exits 1 when any finding
-is not baselined.  ``--format json`` emits the shared finding schema
-(code, path, line, col, message, rule-doc URL) also used by
-``python -m tools.check --format json``.
+Runs all four passes (message-flow, shard-safety, snapshot-escape,
+determinism lint) over the given paths (default ``src/repro``),
+compares the merged findings against the committed baseline, and exits
+1 when any finding is not baselined.  ``--format json`` emits the
+shared finding schema (code, path, line, col, message, rule-doc URL)
+also used by ``python -m tools.check --format json``.
 """
 
 from __future__ import annotations
@@ -23,10 +23,12 @@ from .determinism import DETERMINISM_RULES
 from .flow import render_dot, run_flow_pass
 from .model import build_model
 from .shard import run_shard_pass
+from .snapshot import run_snapshot_pass
 
 _PASSES = (
     ("flow", "message-flow conformance (ANA101-ANA104)"),
     ("shard", "shard-safety escape analysis (ANA201-ANA203)"),
+    ("snapshot", "snapshot-escape analysis (ANA301-ANA303)"),
     ("determinism", "determinism lint family (SIM006-SIM009)"),
 )
 
@@ -80,6 +82,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the machine-readable shard-safety report to FILE",
     )
     parser.add_argument(
+        "--snapshot-report",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable snapshot-safety report to FILE",
+    )
+    parser.add_argument(
         "--list-passes",
         action="store_true",
         help="print the pass registry and exit",
@@ -105,6 +113,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     findings.extend(run_flow_pass(model))
     shard_findings, shard_report = run_shard_pass(files)
     findings.extend(shard_findings)
+    snapshot_findings, snapshot_report = run_snapshot_pass(files)
+    findings.extend(snapshot_findings)
     findings.extend(check_paths(args.paths, rules=DETERMINISM_RULES))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
 
@@ -113,6 +123,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.shard_report:
         pathlib.Path(args.shard_report).write_text(
             json.dumps(shard_report, indent=2) + "\n"
+        )
+    if args.snapshot_report:
+        pathlib.Path(args.snapshot_report).write_text(
+            json.dumps(snapshot_report, indent=2) + "\n"
         )
 
     baseline_path = args.baseline or str(_repo_root() / DEFAULT_BASELINE)
@@ -137,6 +151,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         {"code": c, "path": p, "message": m} for c, p, m in stale
                     ],
                     "shard_verdict": shard_report["verdict"],
+                    "snapshot_verdict": snapshot_report["verdict"],
                 },
                 indent=2,
             )
