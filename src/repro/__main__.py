@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         "static calls — see docs/PROTOCOL.md",
     )
     p.add_argument(
+        "--fastlane", action="store_true",
+        help="advance quiescent local-mode cells analytically "
+        "(Erlang-loss fluid model) instead of event-by-event, "
+        "materializing them back on demand; a low-load accelerator — "
+        "schemes fixed/adaptive only, no faults/mobility/shards/"
+        "snapshots — see DESIGN.md",
+    )
+    p.add_argument(
         "--no-cache", action="store_true",
         help="ignore the persistent result cache (.repro-cache/) and "
         "always simulate",
@@ -160,6 +168,7 @@ def scenario_from_args(args, scheme: str) -> Scenario:
         theta_low=args.theta_low,
         theta_high=args.theta_high,
         window=args.window,
+        fastlane=args.fastlane,
     )
 
 
@@ -181,6 +190,7 @@ def report_dict(report) -> dict:
         "faults_recovered": sum(report.faults_recovered.values()),
         "retries": report.retries,
         "retry_exhausted": report.retry_exhausted,
+        **({"fastlane": report.fastlane} if report.fastlane else {}),
     }
 
 

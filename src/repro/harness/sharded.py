@@ -17,6 +17,10 @@ barrier, cross-shard envelopes exported by every shard's
 :class:`~repro.sim.sharding.ShardPort` are routed, merge-sorted by
 ``(deliver_at, sent_at, src, dst, msg_id)`` and injected into their
 destination kernels before any kernel enters the next window.
+``window_mode="adaptive"`` additionally widens windows across
+quiescent stretches — when every kernel's next event and every
+in-flight record lie past the next boundary, the barrier jumps ahead
+(see :class:`_WindowClock`); results are row-identical either way.
 
 **Determinism.**  Per-cell behavior is driven by per-cell named random
 substreams, so a station's local decisions do not depend on which
@@ -94,6 +98,15 @@ def validate_shardable(scenario: Scenario, shards: int) -> None:
             "cell's station with zero lookahead, which the window "
             "scheme cannot honor across a shard boundary"
         )
+    if scenario.fastlane:
+        raise ValueError(
+            "sharded execution is incompatible with fastlane=True: a "
+            "fluid cell is off the event heap, so its kernel exposes no "
+            "lookahead into the analytic interval and a frontier "
+            "neighbor's borrow message could not conservatively "
+            "materialize it mid-window; run fastlane scenarios "
+            "unsharded (run_scenario without shards=)"
+        )
 
 
 @dataclass
@@ -124,6 +137,11 @@ class ShardResult:
     #: Events this shard's kernel processed (includes one window-stop
     #: event per window — diagnostic, not a parity quantity).
     processed_events: int = 0
+    #: Synchronization windows this shard ran (same for every shard of
+    #: a run).  Under ``window_mode="adaptive"`` this is the quantity
+    #: the null-message optimization shrinks; under ``"fixed"`` it is
+    #: ``ceil(duration / T)``.
+    windows: int = 0
     #: CPU seconds this shard's stack spent (build + all windows).  In
     #: process mode this is per worker process, so ``max(cpu_s)`` over
     #: shards approximates the run's critical path; in inline mode all
@@ -150,6 +168,8 @@ class _ShardRun:
         if sim.sanitizers is not None:
             stamps = sim.sanitizers.vector_clock._stamps
             self.port.stamp_of = lambda seq: stamps.pop(seq, None)
+        #: Windows advanced so far (mirrors the coordinator's count).
+        self.windows = 0
         #: Frontier-cell usage log (empty when the shard has no
         #: frontier, i.e. shards=1).
         self.usage: List[_Usage] = []
@@ -187,10 +207,20 @@ class _ShardRun:
             network.inject_remote(record)
 
     def advance(self, until: float) -> None:
+        self.windows += 1
         self.sim.env.run(until=until)
 
     def drain(self) -> List[RemoteRecord]:
         return self.port.drain()
+
+    def peek(self) -> float:
+        """Time of this kernel's next pending event (``inf`` if idle).
+
+        Read at the barrier, after :meth:`drain` — the coordinator's
+        adaptive window widening needs the earliest instant at which
+        any kernel can act.
+        """
+        return self.sim.env.peek()
 
     def result(self) -> ShardResult:
         sim = self.sim
@@ -219,6 +249,7 @@ class _ShardRun:
             usage=self.usage,
             exported=self.port.exported,
             processed_events=sim.env._eid - len(sim.env._queue),
+            windows=self.windows,
             cpu_s=time.process_time() - self._cpu0,
             obs=(
                 sim.observer.collect() if sim.observer is not None else None
@@ -229,19 +260,90 @@ class _ShardRun:
 # -- window loop -----------------------------------------------------------
 
 
-def _windows(duration: float, T: float):
-    """Yield the window-end times 1*T, 2*T, ... capped at ``duration``.
+class _WindowClock:
+    """Window-boundary sequencer for the coordinator loops.
 
-    Boundaries are computed as ``k * T`` (not accumulated) so float
-    drift cannot desynchronize shards from the classic kernel's idea
-    of, e.g., the warmup instant.
+    Boundaries always lie on the ``k * T`` grid, computed as ``k * T``
+    (not accumulated) so float drift cannot desynchronize shards from
+    the classic kernel's idea of, e.g., the warmup instant.
+
+    ``mode="fixed"`` steps one grid point per window: ``1*T, 2*T, ...``
+    capped at ``duration``.
+
+    ``mode="adaptive"`` is the null-message optimization: at each
+    barrier the coordinator knows ``low`` — the earliest instant
+    anything can happen anywhere (min over every kernel's
+    :meth:`_ShardRun.peek` and the ``deliver_at`` of every routed
+    record still in flight).  No kernel processes an event before
+    ``low``, so nothing is *sent* before ``low``, so nothing can
+    *deliver* before ``low + T`` — any grid boundary ``b <= low + T``
+    is as safe as the fixed step.  The clock jumps to the largest such
+    boundary, collapsing quiescent stretches (call holds, idle traffic
+    gaps with no cross-shard borrowing in flight) into one window.
+
+    Windows under both modes process the identical sim-event sequence:
+    a window stop is a priority ``-1`` event (ahead of every sim event
+    at its time) and consumes one event id *between* windows, shifting
+    all later sim-event ids uniformly — relative id order, the only
+    thing heap tie-breaking reads, is unchanged.  ``adaptive`` is
+    therefore row-identical to ``fixed``; the suite asserts it.
     """
-    k = 0
-    t = 0.0
-    while t < duration:
-        k += 1
-        t = min(k * T, duration)
-        yield t
+
+    def __init__(self, duration: float, T: float, mode: str) -> None:
+        if mode not in ("fixed", "adaptive"):
+            raise ValueError(f"unknown window mode {mode!r}")
+        self.duration = duration
+        self.T = T
+        self.adaptive = mode == "adaptive"
+        self.k = 0
+        self.t = 0.0
+        #: Windows issued (for the bench's null-message accounting).
+        self.windows = 0
+
+    def next(self, low: float) -> Optional[float]:
+        """Advance to the next window end, or ``None`` when done.
+
+        ``low`` is the earliest pending instant across the whole run
+        (``inf`` when fully quiescent); pass ``0.0`` for the first
+        window, before any kernel state exists to inspect.
+        """
+        if self.t >= self.duration:
+            return None
+        k = self.k + 1
+        if self.adaptive and low > k * self.T:
+            if low >= self.duration:
+                # Nothing pending before the horizon: one last window.
+                k = max(k, int(self.duration // self.T) + 1)
+            else:
+                wide = int(low // self.T) + 1
+                # Guard the conservative bound (wide-1)*T <= low against
+                # float division rounding low/T up across a grid point.
+                while wide > k and (wide - 1) * self.T > low:
+                    wide -= 1
+                k = max(k, wide)
+        self.k = k
+        self.t = min(k * self.T, self.duration)
+        self.windows += 1
+        return self.t
+
+
+def _windows(duration: float, T: float):
+    """Yield the fixed-mode window ends ``1*T, 2*T, ...`` capped at
+    ``duration`` — the reference schedule adaptive mode must refine
+    (every adaptive boundary is one of these)."""
+    clock = _WindowClock(duration, T, "fixed")
+    until = clock.next(0.0)
+    while until is not None:
+        yield until
+        until = clock.next(0.0)
+
+
+def _in_flight_low(pending: Sequence[Sequence[RemoteRecord]]) -> float:
+    """Earliest delivery among routed-but-uninjected records."""
+    return min(
+        (record.deliver_at for bucket in pending for record in bucket),
+        default=float("inf"),
+    )
 
 
 def _route(
@@ -261,7 +363,7 @@ def _route(
 
 
 def _run_inline(
-    scenario: Scenario, plan: ShardPlan
+    scenario: Scenario, plan: ShardPlan, window_mode: str = "fixed"
 ) -> List[ShardResult]:
     """All shards in this process, round-robin per window.
 
@@ -271,13 +373,20 @@ def _run_inline(
     """
     runs = [_ShardRun(scenario, plan, s) for s in range(plan.shards)]
     pending: List[List[RemoteRecord]] = [[] for _ in runs]
-    for until in _windows(scenario.duration, scenario.latency_T):
+    clock = _WindowClock(scenario.duration, scenario.latency_T, window_mode)
+    until = clock.next(0.0)
+    while until is not None:
         drains = []
         for run, records in zip(runs, pending):
             run.inject(records)
             run.advance(until)
             drains.append(run.drain())
         pending = _route(plan, drains)
+        low = min(
+            min(run.peek() for run in runs),
+            _in_flight_low(pending),
+        )
+        until = clock.next(low)
     return [run.result() for run in runs]
 
 
@@ -292,8 +401,10 @@ def _shard_worker(
 
     Protocol: parent sends ``("window", until, records)`` per window
     and finally ``("finish",)``; the worker answers ``("drained",
-    records)`` per window and ``("result", ShardResult)`` at the end.
-    Any exception is shipped back as ``("error", traceback)``.
+    records, peek)`` per window — ``peek`` is the kernel's next event
+    time, feeding the coordinator's adaptive window widening — and
+    ``("result", ShardResult)`` at the end.  Any exception is shipped
+    back as ``("error", traceback)``.
     """
     try:
         if get_default_policy() != policy:
@@ -307,7 +418,7 @@ def _shard_worker(
                 _, until, records = message
                 run.inject(records)
                 run.advance(until)
-                conn.send(("drained", run.drain()))
+                conn.send(("drained", run.drain(), run.peek()))
             elif tag == "finish":
                 conn.send(("result", run.result()))
                 return
@@ -336,7 +447,7 @@ def _expect(conn: Any, shard: int, tag: str) -> Tuple[Any, ...]:
 
 
 def _run_process(
-    scenario: Scenario, plan: ShardPlan
+    scenario: Scenario, plan: ShardPlan, window_mode: str = "fixed"
 ) -> List[ShardResult]:
     """One worker process per shard, barrier-synchronized over pipes."""
     ctx = multiprocessing.get_context("spawn")
@@ -357,14 +468,23 @@ def _run_process(
         for shard, conn in enumerate(conns):
             _expect(conn, shard, "ready")
         pending: List[List[RemoteRecord]] = [[] for _ in conns]
-        for until in _windows(scenario.duration, scenario.latency_T):
+        clock = _WindowClock(
+            scenario.duration, scenario.latency_T, window_mode
+        )
+        until = clock.next(0.0)
+        while until is not None:
             for conn, records in zip(conns, pending):
                 conn.send(("window", until, records))
-            drains = [
-                _expect(conn, shard, "drained")[1]
+            replies = [
+                _expect(conn, shard, "drained")
                 for shard, conn in enumerate(conns)
             ]
-            pending = _route(plan, drains)
+            pending = _route(plan, [reply[1] for reply in replies])
+            low = min(
+                min(reply[2] for reply in replies),
+                _in_flight_low(pending),
+            )
+            until = clock.next(low)
         results = []
         for shard, conn in enumerate(conns):
             conn.send(("finish",))
@@ -558,26 +678,35 @@ def _topology(scenario: Scenario) -> CellularTopology:
 
 
 def run_sharded_results(
-    scenario: Scenario, shards: int, mode: str = "process"
+    scenario: Scenario,
+    shards: int,
+    mode: str = "process",
+    window_mode: str = "fixed",
 ) -> Tuple[ShardPlan, List[ShardResult]]:
     """Run sharded and return the raw per-shard results (unmerged).
 
     For callers that want per-shard diagnostics — the bench driver
-    reads ``cpu_s`` per worker to compute the critical-path speedup —
+    reads ``cpu_s`` per worker to compute the critical-path speedup
+    and ``windows`` to account for the null-message optimization —
     before folding into a :class:`Report` via
     :func:`merge_shard_results`.
     """
     validate_shardable(scenario, shards)
+    if window_mode not in ("fixed", "adaptive"):
+        raise ValueError(f"unknown window mode {window_mode!r}")
     plan = plan_shards(_topology(scenario), shards)
     if mode == "inline" or plan.shards == 1:
-        return plan, _run_inline(scenario, plan)
+        return plan, _run_inline(scenario, plan, window_mode)
     if mode == "process":
-        return plan, _run_process(scenario, plan)
+        return plan, _run_process(scenario, plan, window_mode)
     raise ValueError(f"unknown shard mode {mode!r}")
 
 
 def run_sharded(
-    scenario: Scenario, shards: int, mode: str = "process"
+    scenario: Scenario,
+    shards: int,
+    mode: str = "process",
+    window_mode: str = "fixed",
 ) -> Report:
     """Run one scenario over ``shards`` conservatively synced kernels.
 
@@ -587,6 +716,14 @@ def run_sharded(
     same window/merge protocol — bit-identical results, no spawn cost,
     no parallelism (used by the parity tests and as the reference
     implementation of the protocol).
+
+    ``window_mode="adaptive"`` turns on the null-message optimization
+    (see :class:`_WindowClock`): barriers are skipped across quiescent
+    stretches where no kernel has a pending event and no cross-shard
+    message is in flight.  Row-identical to ``"fixed"`` — only the
+    number of barriers (and hence sync overhead) changes.
     """
-    plan, results = run_sharded_results(scenario, shards, mode=mode)
+    plan, results = run_sharded_results(
+        scenario, shards, mode=mode, window_mode=window_mode
+    )
     return merge_shard_results(scenario, plan, results)

@@ -16,6 +16,7 @@ from repro.faults import CrashWindow, FaultPlan, LinkPartition
 from repro.harness import (
     Scenario,
     build_simulation,
+    merge_shard_results,
     run_cells,
     run_scenario,
     run_sharded,
@@ -23,6 +24,7 @@ from repro.harness import (
 )
 from repro.harness.sharded import (
     _ShardRun,
+    _WindowClock,
     _cross_shard_violations,
     _windows,
     validate_shardable,
@@ -112,6 +114,11 @@ def test_validate_shardable_gates():
         )
     with pytest.raises(ValueError, match="mean_dwell"):
         validate_shardable(small(mean_dwell=600.0), 2)
+    # A fluid cell is off the event heap: its kernel has no lookahead
+    # into the analytic interval, so the conservative window protocol
+    # cannot order it.  Rejected up front, not degraded.
+    with pytest.raises(ValueError, match="fastlane"):
+        validate_shardable(small(fastlane=True), 2)
     validate_shardable(small(), 2)  # and the happy path is silent
 
 
@@ -125,6 +132,31 @@ def test_window_boundaries_are_multiplicative_and_capped():
     boundaries = list(_windows(400.0, 0.1))
     assert boundaries[-1] == 400.0
     assert boundaries[99] == 100 * 0.1
+
+
+def test_window_clock_adaptive_jumps_stay_on_grid():
+    clock = _WindowClock(10.0, 2.0, "adaptive")
+    # Earliest pending instant inside the first window: no jump.
+    assert clock.next(0.5) == 2.0
+    # Earliest pending instant at 7.0: nothing can deliver before
+    # 7.0 + T = 9.0, so the largest safe grid boundary is 8.0.
+    assert clock.next(7.0) == 8.0
+    # Fully quiescent: one final window straight to the horizon.
+    assert clock.next(float("inf")) == 10.0
+    assert clock.next(float("inf")) is None
+    assert clock.windows == 3
+
+
+def test_window_clock_adaptive_boundary_is_conservative():
+    """Every adaptive boundary b satisfies b <= low + T (the lookahead
+    safety bound) and lies on the fixed-mode grid."""
+    T = 0.1
+    grid = set(_windows(40.0, T))
+    for low in (0.0, 0.05, 0.3, 0.30000000000000004, 1.0, 7.77, 39.9):
+        clock = _WindowClock(40.0, T, "adaptive")
+        boundary = clock.next(low)
+        assert boundary <= low + T + 1e-9
+        assert boundary in grid
 
 
 def test_environment_timeout_at_schedules_absolute_time():
@@ -181,6 +213,34 @@ def test_sharded_process_mode_matches_inline():
     scenario = small("adaptive")
     classic = rows(run_scenario(scenario))
     assert rows(run_sharded(scenario, 2, mode="process")) == classic
+
+
+def test_adaptive_windows_row_identical_to_fixed():
+    """The null-message optimization changes only the barrier count:
+    merged reports are equal field for field, and on a lightly loaded
+    grid the adaptive clock actually collapses windows."""
+    scenario = small("adaptive", offered_load=0.25, duration=200.0,
+                     warmup=50.0)
+    plan, fixed = run_sharded_results(scenario, 2, mode="inline")
+    plan_a, adaptive = run_sharded_results(
+        scenario, 2, mode="inline", window_mode="adaptive"
+    )
+    assert rows(merge_shard_results(scenario, plan_a, adaptive)) == rows(
+        merge_shard_results(scenario, plan, fixed)
+    )
+    assert max(r.windows for r in adaptive) < max(r.windows for r in fixed)
+
+
+def test_adaptive_windows_process_mode_matches_classic():
+    scenario = small("adaptive")
+    assert rows(
+        run_sharded(scenario, 2, mode="process", window_mode="adaptive")
+    ) == rows(run_scenario(scenario))
+
+
+def test_unknown_window_mode_rejected():
+    with pytest.raises(ValueError, match="window mode"):
+        run_sharded(small(), 2, window_mode="widest")
 
 
 def test_run_scenario_shards_kwarg_routes_to_sharded():

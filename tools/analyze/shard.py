@@ -1,4 +1,4 @@
-"""Pass 2 — shard-safety escape analysis (ANA201–ANA203).
+"""Pass 2 — shard-safety escape analysis (ANA201–ANA204).
 
 Precondition gate for the ROADMAP's sharded space-parallel DES: once
 cells are partitioned across shards running in separate workers, any
@@ -20,6 +20,15 @@ This pass flags the cross-cell shortcuts statically:
   module globals are per-worker under sharding, so any mutable one is
   either a hidden cross-cell channel today or a silent divergence
   tomorrow.  Dunder names (``__all__``) are exempt.
+* **ANA204** — fluid-state access from a protocol message handler:
+  ``self.fastlane`` touched inside an ``_on_*`` / ``_handle_*``
+  method.  By the time a handler runs, ``MSS.on_message`` has already
+  materialized the cell (the lane's one sanctioned dispatch hook);
+  a handler reaching into the lane again either re-promotes a cell
+  mid-settlement or reads fluid occupancy that the handler's own
+  delivery just invalidated.  Protocol code interacts with the lane
+  only via the ``fastlane_eligible`` / ``fastlane_reconcile`` hooks
+  and the ``on_message`` / ``_enter_borrowing`` notify sites.
 
 Besides findings, the pass produces a machine-readable report (the
 ``--shard-report`` CI artifact) stating the files scanned, the
@@ -189,6 +198,42 @@ def _module_global_findings(path: str, tree: ast.Module) -> List[Finding]:
     return findings
 
 
+def _fluid_access_findings(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    if "src/repro/sim" in path:
+        return findings  # the kernel has no protocol handlers
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not func.name.startswith(("_on_", "_handle_")):
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "fastlane"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    findings.append(
+                        Finding(
+                            path,
+                            node.lineno,
+                            node.col_offset,
+                            "ANA204",
+                            f"fluid-state access: {cls.name}.{func.name} "
+                            "touches self.fastlane inside a message "
+                            "handler — on_message already materialized "
+                            "this cell before dispatch; interact with "
+                            "the lane only via the fastlane_eligible/"
+                            "fastlane_reconcile hooks",
+                        )
+                    )
+    return findings
+
+
 def run_shard_pass(
     files: List[str],
 ) -> Tuple[List[Finding], Dict[str, Any]]:
@@ -211,6 +256,7 @@ def run_shard_pass(
         findings.extend(_peer_access_findings(posix, tree))
         findings.extend(_class_attr_findings(posix, tree))
         findings.extend(_module_global_findings(posix, tree))
+        findings.extend(_fluid_access_findings(posix, tree))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     report: Dict[str, Any] = {
         "pass": "shard-safety",

@@ -22,6 +22,16 @@ Runs five measurements and records them in ``BENCH_simulator.json``:
    row-identical to the cold base run, and ``--check`` gates the
    speedup against the profile floor (>= 3x on the full reference
    sweep, where measurement is 10% of the horizon).
+6. **Fast lane** — the low-load reference scenario run with
+   ``fastlane=False`` (exact baseline) and ``fastlane=True`` (fluid
+   local-mode cells, ``repro.harness.fastlane``).  ``--check`` gates
+   the wall-clock speedup floor (>= 3x on the full profile), the
+   fluid-vs-exact divergence tolerances (drop rate, Erlang-B blocking,
+   occupancy), and — against the *committed* baseline — that the
+   ``fastlane=False`` run's event count has not drifted: lane-off
+   behavior is contractually bit-identical to a build without the
+   lane.  The divergence table is also written to
+   ``fastlane-divergence.json`` for CI artifact upload.
 
 Usage::
 
@@ -137,6 +147,40 @@ PROFILES = {
             n=10,
             min_speedup=3.0,
         ),
+        # The low-load reference profile of the hybrid fast lane: at 3
+        # Erlang/cell an adaptive cell's Erlang-B blocking is ~1e-4, so
+        # virtually the whole grid rides the fluid lane (fluid fraction
+        # ~0.99) and the event heap shrinks ~15x.  Measured ~4x wall
+        # against the exact kernel; the floor leaves noise headroom.
+        "fastlane": dict(
+            scheme="adaptive",
+            rows=14,
+            cols=14,
+            offered_load=3.0,
+            duration=2000.0,
+            warmup=200.0,
+            seed=7,
+            min_speedup=3.0,
+            max_drop_divergence=0.01,
+            max_block_divergence=0.01,
+            max_occupancy_divergence=0.5,
+        ),
+        # Adaptive conservative windows: a sparse scenario (traffic so
+        # thin that whole multi-T stretches have no events anywhere)
+        # where the null-message optimization should collapse most
+        # barriers; the gate demands row parity with fixed windows plus
+        # an actual window-count reduction.
+        "shard_windows": dict(
+            scheme="adaptive",
+            rows=7,
+            cols=7,
+            offered_load=0.25,
+            duration=400.0,
+            warmup=50.0,
+            seed=5,
+            shards=2,
+            max_window_fraction=0.5,
+        ),
     },
     "smoke": {
         "kernel": dict(offered_load=8.0, duration=300.0, warmup=50.0, seed=101),
@@ -173,6 +217,34 @@ PROFILES = {
             seed=31,
             n=8,
             min_speedup=1.3,
+        ),
+        # Small grid but a long horizon, so the measured region (not
+        # the fixed build/report overhead) dominates; the floor still
+        # only guards the mechanism — the 3x claim is the full
+        # profile's.
+        "fastlane": dict(
+            scheme="adaptive",
+            rows=7,
+            cols=7,
+            offered_load=3.0,
+            duration=2000.0,
+            warmup=200.0,
+            seed=7,
+            min_speedup=2.0,
+            max_drop_divergence=0.02,
+            max_block_divergence=0.02,
+            max_occupancy_divergence=0.75,
+        ),
+        "shard_windows": dict(
+            scheme="adaptive",
+            rows=7,
+            cols=7,
+            offered_load=0.25,
+            duration=200.0,
+            warmup=50.0,
+            seed=5,
+            shards=2,
+            max_window_fraction=0.5,
         ),
     },
 }
@@ -418,6 +490,178 @@ def bench_warmstart(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def bench_fastlane(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Exact kernel vs hybrid fluid fast lane on the low-load profile.
+
+    Both runs are the same scenario; only ``fastlane`` differs.  The
+    lane-off run's event count is recorded so the committed baseline
+    pins it: lane-off behavior must stay bit-identical across commits
+    (``check_fastlane`` compares exactly, not within a tolerance).
+    The divergence block quantifies how far the fluid model drifted
+    from the discrete dynamics it replaced — the same numbers the run
+    report's fast-lane section shows.
+    """
+    base = Scenario(
+        scheme=spec["scheme"],
+        rows=spec["rows"],
+        cols=spec["cols"],
+        offered_load=spec["offered_load"],
+        duration=spec["duration"],
+        warmup=spec["warmup"],
+        seed=spec["seed"],
+        wrap=False,
+    )
+
+    def timed(scenario):
+        c0 = time.process_time()
+        w0 = time.perf_counter()
+        sim = build_simulation(scenario)
+        report = sim.run()
+        cpu = time.process_time() - c0
+        wall = time.perf_counter() - w0
+        events = sim.env._eid - len(sim.env._queue)
+        return report, cpu, wall, events
+
+    off, off_cpu, off_wall, off_events = timed(base)
+    on, on_cpu, on_wall, on_events = timed(base.with_(fastlane=True))
+    lane = on.fastlane or {}
+    return {
+        "grid": f"{spec['rows']}x{spec['cols']}",
+        "scheme": spec["scheme"],
+        "offered_load": spec["offered_load"],
+        "duration": spec["duration"],
+        "off": {
+            "cpu_s": round(off_cpu, 3),
+            "wall_s": round(off_wall, 3),
+            "events": off_events,
+            "drop_rate": round(off.drop_rate, 6),
+            "violations": off.violations,
+        },
+        "on": {
+            "cpu_s": round(on_cpu, 3),
+            "wall_s": round(on_wall, 3),
+            "events": on_events,
+            "drop_rate": round(on.drop_rate, 6),
+            "violations": on.violations,
+        },
+        "speedup_cpu": round(off_cpu / on_cpu, 2) if on_cpu else 0.0,
+        "speedup_wall": round(off_wall / on_wall, 2) if on_wall else 0.0,
+        "divergence": {
+            "drop_rate_abs": round(abs(on.drop_rate - off.drop_rate), 6),
+            "block_rate_abs_err": round(
+                lane.get("block_rate_abs_err", 0.0), 6
+            ),
+            "occupancy_abs_err": round(lane.get("occupancy_abs_err", 0.0), 4),
+            "fluid_fraction": round(lane.get("fluid_fraction", 0.0), 4),
+        },
+    }
+
+
+def bench_shard_windows(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Fixed vs adaptive conservative windows on a sparse scenario.
+
+    Inline mode on purpose: the quantity under test is the number of
+    barriers the null-message optimization eliminates (and row parity
+    across window modes), not transport wall time.
+    """
+    scenario = Scenario(
+        scheme=spec["scheme"],
+        rows=spec["rows"],
+        cols=spec["cols"],
+        offered_load=spec["offered_load"],
+        duration=spec["duration"],
+        warmup=spec["warmup"],
+        seed=spec["seed"],
+        wrap=False,
+    )
+    shards = spec["shards"]
+    rows = {}
+    windows = {}
+    for window_mode in ("fixed", "adaptive"):
+        plan, results = run_sharded_results(
+            scenario, shards, mode="inline", window_mode=window_mode
+        )
+        rows[window_mode] = _parity_row(
+            merge_shard_results(scenario, plan, results)
+        )
+        windows[window_mode] = results[0].windows
+    return {
+        "grid": f"{spec['rows']}x{spec['cols']}",
+        "scheme": spec["scheme"],
+        "offered_load": spec["offered_load"],
+        "shards": shards,
+        "windows_fixed": windows["fixed"],
+        "windows_adaptive": windows["adaptive"],
+        "window_fraction": (
+            round(windows["adaptive"] / windows["fixed"], 4)
+            if windows["fixed"]
+            else 0.0
+        ),
+        "rows_identical": rows["fixed"] == rows["adaptive"],
+    }
+
+
+def check_fastlane(
+    result: Dict[str, Any],
+    spec: Dict[str, Any],
+    committed: Dict[str, Any],
+) -> List[str]:
+    """Gate: wall speedup floor, divergence tolerances, sanitizer
+    silence, and lane-off event-count identity vs the committed
+    baseline."""
+    problems = []
+    if result["speedup_wall"] < spec["min_speedup"]:
+        problems.append(
+            f"fastlane: wall speedup {result['speedup_wall']}x is below "
+            f"the {spec['min_speedup']}x floor for this profile"
+        )
+    divergence = result["divergence"]
+    for key, bound in (
+        ("drop_rate_abs", spec["max_drop_divergence"]),
+        ("block_rate_abs_err", spec["max_block_divergence"]),
+        ("occupancy_abs_err", spec["max_occupancy_divergence"]),
+    ):
+        if divergence[key] > bound:
+            problems.append(
+                f"fastlane: divergence {key}={divergence[key]} exceeds "
+                f"the {bound} tolerance"
+            )
+    if result["on"]["violations"] or result["off"]["violations"]:
+        problems.append("fastlane: interference violations in a bench run")
+    baseline_events = (
+        committed.get("off", {}).get("events") if committed else None
+    )
+    if baseline_events is not None and baseline_events != result["off"]["events"]:
+        problems.append(
+            f"fastlane: lane-off event count {result['off']['events']} "
+            f"differs from the committed baseline {baseline_events} — "
+            "fastlane=False must stay bit-identical to a build without "
+            "the lane"
+        )
+    return problems
+
+
+def check_shard_windows(
+    result: Dict[str, Any], spec: Dict[str, Any]
+) -> List[str]:
+    """Gate: adaptive windows must match fixed windows row-for-row and
+    actually eliminate barriers on the sparse profile."""
+    problems = []
+    if not result["rows_identical"]:
+        problems.append(
+            "shard_windows: adaptive-window rows differ from fixed-window"
+        )
+    if result["window_fraction"] > spec["max_window_fraction"]:
+        problems.append(
+            f"shard_windows: adaptive ran {result['windows_adaptive']} of "
+            f"{result['windows_fixed']} windows "
+            f"({result['window_fraction']:.0%}), above the "
+            f"{spec['max_window_fraction']:.0%} ceiling — the "
+            "null-message optimization is not engaging"
+        )
+    return problems
+
+
 def check_warmstart(
     result: Dict[str, Any], spec: Dict[str, Any]
 ) -> List[str]:
@@ -491,6 +735,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="allowed fractional regression for --check (default 0.30)",
     )
     parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    parser.add_argument(
+        "--divergence-out",
+        default="fastlane-divergence.json",
+        metavar="PATH",
+        help="where to write the fast-lane divergence report "
+        "(uploaded as a CI artifact)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -600,6 +851,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 1
 
+        fastlane_result = bench_fastlane(spec["fastlane"])
+        divergence = fastlane_result["divergence"]
+        print(
+            f"fastlane: {fastlane_result['grid']} "
+            f"{fastlane_result['scheme']} "
+            f"load {fastlane_result['offered_load']}  "
+            f"off {fastlane_result['off']['wall_s']}s / "
+            f"{fastlane_result['off']['events']} events  "
+            f"on {fastlane_result['on']['wall_s']}s / "
+            f"{fastlane_result['on']['events']} events  "
+            f"speedup {fastlane_result['speedup_wall']}x wall "
+            f"({fastlane_result['speedup_cpu']}x cpu)"
+        )
+        print(
+            f"  divergence: drop |d| {divergence['drop_rate_abs']}  "
+            f"block |d| {divergence['block_rate_abs_err']}  "
+            f"occupancy |d| {divergence['occupancy_abs_err']}  "
+            f"fluid fraction {divergence['fluid_fraction']}"
+        )
+        section["fastlane"] = fastlane_result
+        with open(args.divergence_out, "w") as fh:
+            json.dump(
+                {"profile": profile, "fastlane": fastlane_result},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote {args.divergence_out}")
+        if fastlane_result["on"]["violations"] or fastlane_result["off"][
+            "violations"
+        ]:
+            print(
+                "error: interference violations in a fastlane bench run",
+                file=sys.stderr,
+            )
+            return 1
+
+        windows_result = bench_shard_windows(spec["shard_windows"])
+        print(
+            f"shard windows: {windows_result['grid']} "
+            f"{windows_result['scheme']} load "
+            f"{windows_result['offered_load']} x{windows_result['shards']} "
+            f"shards  fixed {windows_result['windows_fixed']} windows  "
+            f"adaptive {windows_result['windows_adaptive']} "
+            f"({windows_result['window_fraction']:.0%})  "
+            f"rows identical: {windows_result['rows_identical']}"
+        )
+        section["shard_windows"] = windows_result
+        if not windows_result["rows_identical"]:
+            print(
+                "error: adaptive-window rows differ from fixed-window",
+                file=sys.stderr,
+            )
+            return 1
+
     failures: List[str] = []
     if args.check:
         baseline = committed.get("profiles", {}).get(profile, {}).get("kernel", {})
@@ -613,6 +920,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.no_sweep:
             failures += check_sharded(sharded_result, spec["sharded"])
             failures += check_warmstart(warmstart_result, spec["warmstart"])
+            failures += check_fastlane(
+                fastlane_result,
+                spec["fastlane"],
+                committed.get("profiles", {})
+                .get(profile, {})
+                .get("fastlane", {}),
+            )
+            failures += check_shard_windows(
+                windows_result, spec["shard_windows"]
+            )
         for failure in failures:
             print(f"REGRESSION  {failure}", file=sys.stderr)
 
