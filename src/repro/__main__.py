@@ -21,6 +21,7 @@ import sys
 
 from .faults import FaultPlan
 from .harness import SCHEMES, Scenario, render_table, run_cells
+from .policies.base import policy_names
 from .traffic import HotspotLoad
 
 
@@ -56,6 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta-low", type=float, default=1.0)
     p.add_argument("--theta-high", type=float, default=3.0)
     p.add_argument("--window", type=float, default=30.0)
+    p.add_argument(
+        "--policy", default=None, choices=policy_names(),
+        help="mode policy for the adaptive scheme (LOCAL <-> BORROWING "
+        "decision rule); 'linear' is the paper's sliding-window "
+        "predictor — see docs/POLICIES.md",
+    )
+    p.add_argument(
+        "--policy-trace", type=str, default=None, metavar="FILE",
+        help="per-cell load trace JSON for --policy oracle (record one "
+        "with --record-policy-trace)",
+    )
+    p.add_argument(
+        "--record-policy-trace", type=str, default=None, metavar="FILE",
+        help="run the scenario under the 'linear' policy, record the "
+        "per-cell load trace an oracle needs, write it to FILE and "
+        "exit (adaptive scheme only)",
+    )
     p.add_argument(
         "--faults", type=float, default=None, metavar="P",
         help="inject uniform message loss with probability P (enables "
@@ -148,6 +166,10 @@ def scenario_from_args(args, scheme: str) -> Scenario:
     faults = (
         FaultPlan.uniform_loss(args.faults) if args.faults is not None else None
     )
+    policy_params = {}
+    if args.policy_trace is not None:
+        with open(args.policy_trace) as fh:
+            policy_params["trace"] = json.load(fh)
     return Scenario(
         scheme=scheme,
         faults=faults,
@@ -168,6 +190,8 @@ def scenario_from_args(args, scheme: str) -> Scenario:
         theta_low=args.theta_low,
         theta_high=args.theta_high,
         window=args.window,
+        policy=args.policy or "linear",
+        policy_params=policy_params,
         fastlane=args.fastlane,
     )
 
@@ -191,6 +215,11 @@ def report_dict(report) -> dict:
         "retries": report.retries,
         "retry_exhausted": report.retry_exhausted,
         **({"fastlane": report.fastlane} if report.fastlane else {}),
+        **(
+            {"regret_vs_oracle": report.regret_vs_oracle}
+            if report.regret_vs_oracle is not None
+            else {}
+        ),
     }
 
 
@@ -301,6 +330,40 @@ def main(argv=None) -> int:
     if args.faults is not None and (args.config or args.preset):
         plan = FaultPlan.uniform_loss(args.faults)
         scenarios = [s.with_(faults=plan) for s in scenarios]
+
+    if (args.config or args.preset) and (
+        args.policy is not None or args.policy_trace is not None
+    ):
+        overrides: dict = {}
+        if args.policy is not None:
+            overrides["policy"] = args.policy
+        if args.policy_trace is not None:
+            with open(args.policy_trace) as fh:
+                overrides["policy_params"] = {"trace": json.load(fh)}
+        scenarios = [s.with_(**overrides) for s in scenarios]
+
+    if args.record_policy_trace is not None:
+        from .policies import record_trace
+
+        base = scenarios[0]
+        if base.scheme != "adaptive":
+            print(
+                "--record-policy-trace requires the adaptive scheme",
+                file=sys.stderr,
+            )
+            return 2
+        trace = record_trace(base.with_(policy="linear", policy_params={}))
+        with open(args.record_policy_trace, "w") as fh:
+            json.dump(trace, fh)
+        print(
+            f"recorded per-cell load trace ({len(trace)} cells) -> "
+            f"{args.record_policy_trace}"
+        )
+        print(
+            f"replay with: python -m repro --scheme adaptive --policy "
+            f"oracle --policy-trace {args.record_policy_trace}"
+        )
+        return 0
 
     if args.trace is not None:
         from .obs import ObsConfig

@@ -18,6 +18,11 @@ Mode transitions are driven by ``check_mode`` (Fig. 6): a linear
 prediction of the free-primary count one round-trip ahead crosses the
 low threshold ``θ_l`` (enter borrowing) or the high threshold ``θ_h``
 (return to local); ``θ_l < θ_h`` gives hysteresis against flapping.
+The decision rule itself is pluggable (``repro.policies``): the
+default ``linear`` policy is the paper's predictor, bit-identically;
+alternatives (ewma, quantile, clairvoyant oracle, harvest/trade with
+SOLICIT/DONATE donation) swap in per scenario without touching this
+module — see docs/POLICIES.md.
 
 Documented deviations from the TR pseudocode (see DESIGN.md §5):
 
@@ -61,21 +66,23 @@ import enum
 from collections import deque
 from typing import Deque, Dict, Optional, Set, Tuple
 
+from ..policies.base import make_policy
 from ..protocols.base import MSS
 from ..protocols.messages import (
     Acquisition,
     AcqType,
     ChangeMode,
+    Donate,
     NO_CHANNEL,
     Release,
     ReqType,
     Request,
     ResType,
     Response,
+    Solicit,
     Timestamp,
 )
 from ..sim import Collector, Gate
-from .nfc import NFCWindow
 
 __all__ = ["Mode", "AdaptiveMSS"]
 
@@ -157,6 +164,11 @@ class AdaptiveMSS(MSS):
         free-primary count.
     window:
         Prediction window ``W`` of the NFC history.
+    policy, policy_params:
+        The mode-switching decision rule, by registry name (see
+        :mod:`repro.policies`), plus its policy-specific parameters.
+        The default ``"linear"`` is the paper's Fig. 6 predictor and
+        is bit-identical to the pre-registry implementation.
     best_policy:
         Borrow-target selection: ``"best"`` (Fig. 10's heuristic —
         fewest borrowing neighbors in common), ``"first"`` (lowest
@@ -191,6 +203,8 @@ class AdaptiveMSS(MSS):
         theta_low: float = 1.0,
         theta_high: float = 3.0,
         window: float = 30.0,
+        policy: str = "linear",
+        policy_params: Optional[Dict[str, object]] = None,
         best_policy: str = "best",
         repack: bool = False,
         guard_channels: int = 0,
@@ -250,7 +264,17 @@ class AdaptiveMSS(MSS):
         #: Borrow attempts of the in-flight request (paper's ``rounds``).
         self.rounds = 0
 
-        self.nfc = NFCWindow(window, initial=len(self.PR))
+        #: The mode-switching decision rule (see ``repro.policies``).
+        self.policy = make_policy(
+            policy,
+            policy_params,
+            cell=self.cell,
+            theta_low=theta_low,
+            theta_high=theta_high,
+            window=window,
+            horizon=2 * self.T,
+            initial=len(self.PR),
+        )
         self._gate = Gate(self.env)
         self._req_ts: Optional[Timestamp] = None
         self._collector: Optional[Collector] = None
@@ -325,8 +349,7 @@ class AdaptiveMSS(MSS):
         return True
 
     def fastlane_reconcile(self) -> None:
-        """Reset the NFC predictor to a flat history at the current
-        free-primary count.
+        """Re-anchor the mode policy at the current free-primary count.
 
         The pre-demotion samples plus the materialization jump would
         otherwise read as a crash-dive in free channels — the linear
@@ -335,7 +358,7 @@ class AdaptiveMSS(MSS):
         (observed: a 20× drop-rate inflation at high load).  The fluid
         interval's sample history is fictional anyway; the honest
         predictor state after materialization is "flat at s"."""
-        self.nfc = NFCWindow(self.window, initial=self.free_primary_count())
+        self.policy.reconcile(self.free_primary_count())
 
     # ------------------------------------------------------------------
     # Requesting a channel (Fig. 2)
@@ -600,14 +623,22 @@ class AdaptiveMSS(MSS):
     def _check_mode(self) -> None:
         s = self.free_primary_count()
         t = self.env._now
-        nfc = self.nfc
-        nfc.add(t, s)
-        predicted = nfc.predict(t, 2 * self.T)
-        if self.mode is Mode.LOCAL and predicted < self.theta_low:
-            self._enter_borrowing()
-        elif self.mode is Mode.BORROW_IDLE and predicted >= self.theta_high:
-            self._exit_borrowing()
+        policy = self.policy
+        target = policy.decide(t, s, self.mode.is_borrowing)
+        self.env.emit("policy.decide", (self.cell, t, s, target))
+        if target is True:
+            if self.mode is Mode.LOCAL:
+                self._enter_borrowing()
+        elif target is False:
+            if self.mode is Mode.BORROW_IDLE:
+                self._exit_borrowing()
         # Modes 2 and 3 never transition here (a request is in flight).
+        need = policy.solicit_need(t, s, self.mode.is_borrowing)
+        if need:
+            # Harvest extension: broadcast the shortfall so unloaded
+            # neighbors can volunteer channels (advisory; see Donate).
+            self.env.emit("policy.solicit", (self.cell, need))
+            self._broadcast(Solicit(self.cell, need))
 
     def _enter_borrowing(self) -> None:
         if self.fastlane is not None:
@@ -660,6 +691,12 @@ class AdaptiveMSS(MSS):
         ]
         if not eligible:
             return None
+        # Harvest extension: a neighbor that recently volunteered a
+        # still-free channel beats the heuristics below (no-op for
+        # policies without a donation book).
+        donor = self.policy.preferred_donor(self.env._now, eligible, free)
+        if donor is not None:
+            return donor
         if self.best_policy == "first":
             return eligible[0]
         if self.best_policy == "random":
@@ -873,6 +910,27 @@ class AdaptiveMSS(MSS):
         self._check_mode()
 
     # ------------------------------------------------------------------
+    # Harvest extension: SOLICIT / DONATE (repro.policies.harvest)
+    # ------------------------------------------------------------------
+    def _on_Solicit(self, msg: Solicit) -> None:
+        # Offer free primaries per local knowledge only; the donation
+        # is advisory, so an offer raced by a concurrent acquisition is
+        # merely useless, never unsafe (the permission round decides).
+        free = sorted(self.PR - self.use - self.interfered())
+        count = self.policy.consider_solicit(
+            self.env._now, msg.need, len(free), self.mode.is_borrowing
+        )
+        if count > 0:
+            channels = tuple(free[:count])
+            self.env.emit("policy.donate", (self.cell, msg.sender, channels))
+            self._send(msg.sender, Donate(self.cell, channels))
+
+    def _on_Donate(self, msg: Donate) -> None:
+        self.policy.record_donation(
+            self.env._now, msg.sender, tuple(msg.channels)
+        )
+
+    # ------------------------------------------------------------------
     # Crash / restart (fault injection)
     # ------------------------------------------------------------------
     def _crash_hook(self, lose_state: bool) -> None:
@@ -907,7 +965,7 @@ class AdaptiveMSS(MSS):
                 del self._owed_acks[sender]
                 self.env.emit("wait.unblock", (self.cell, sender))
             self._gate.pulse()
-            self.nfc = NFCWindow(self.window, initial=len(self.PR))
+            self.policy.reset(len(self.PR))
 
     def _restart_hook(self) -> None:
         # Neighborhood re-sync: Fig. 5 answers *every* CHANGE_MODE with

@@ -24,6 +24,7 @@ from .stats import CI, compare, summarize
 from .sweeps import DEFAULT_COLUMNS, SweepResult, sweep, to_csv
 from .tables import format_value, render_table
 from .timeline import ModeSampler
+from .tuning import TuneResult, tune_policy
 
 __all__ = [
     "sweep",
@@ -62,4 +63,6 @@ __all__ = [
     "validate_shardable",
     "render_table",
     "format_value",
+    "tune_policy",
+    "TuneResult",
 ]

@@ -110,6 +110,15 @@ class Scenario:
     theta_low: float = 1.0
     theta_high: float = 3.0
     window: float = 30.0
+    #: Mode-policy registry entry driving the LOCAL ↔ BORROW_IDLE
+    #: decision (see ``repro.policies`` and docs/POLICIES.md).  The
+    #: default "linear" is the paper's sliding-window predictor and is
+    #: bit-identical to the pre-registry behaviour.
+    policy: str = "linear"
+    #: Policy-specific constructor parameters (e.g. ``{"beta": 0.5}``
+    #: for "ewma", ``{"trace": {...}}`` for "oracle").  Participates in
+    #: the scenario JSON, hence in result-cache keys.
+    policy_params: Dict[str, Any] = field(default_factory=dict)
 
     # -- baseline parameters -------------------------------------------------------
     max_attempts: int = 25

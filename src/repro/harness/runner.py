@@ -32,6 +32,7 @@ from ..sim import (
     StreamRegistry,
     UniformLatency,
 )
+from ..policies.base import policy_spec
 from ..traffic import CallConfig, TrafficSource
 from ..verify import SanitizerSuite, get_default_policy
 from .config import Scenario
@@ -122,6 +123,11 @@ class Report:
     #: neighbors at local acquisitions (the paper's N_borrow); 0 for
     #: other schemes.
     measured_n_borrow: float = 0.0
+    #: Drop-rate excess over the clairvoyant oracle on the same
+    #: (scenario, seed) — filled by ``repro.policies.compare_policies``;
+    #: None for runs outside a policy comparison.  The oracle's own
+    #: regret is exactly 0.0 by construction.
+    regret_vs_oracle: Optional[float] = None
     #: Fast-lane divergence summary (see ``FastLane.summary``); None
     #: when the run did not use the hybrid analytic lane.
     fastlane: Optional[Dict[str, Any]] = None
@@ -292,6 +298,15 @@ def build_simulation(
                 "fastlane is incompatible with guard channels (fluid "
                 "admission is plain Erlang loss)"
             )
+        if scenario.scheme == "adaptive" and not policy_spec(
+            scenario.policy
+        ).fastlane_safe:
+            raise ValueError(
+                f"fastlane is incompatible with policy "
+                f"{scenario.policy!r} (its decisions depend on more "
+                f"than the reconciled occupancy sample, so demoted "
+                f"cells cannot be advanced analytically)"
+            )
     streams = StreamRegistry(scenario.seed)
     env = Environment()
     topo = CellularTopology(
@@ -343,6 +358,8 @@ def build_simulation(
         kwargs.setdefault("theta_low", scenario.theta_low)
         kwargs.setdefault("theta_high", scenario.theta_high)
         kwargs.setdefault("window", scenario.window)
+        kwargs.setdefault("policy", scenario.policy)
+        kwargs.setdefault("policy_params", dict(scenario.policy_params))
     elif cls in (BasicUpdateMSS, AdvancedUpdateMSS):
         kwargs.setdefault("max_attempts", scenario.max_attempts)
 

@@ -118,9 +118,12 @@ class TimeSeriesRecorder:
                 self.mode[cell].append(
                     coerce_mode(getattr(station, "mode", 0))
                 )
-                nfc = getattr(station, "nfc", None)
-                if nfc is not None:
-                    predicted = nfc.predict(now, 2 * station.T)
+                # The column name "nfc_predicted" predates the policy
+                # registry; it now carries whatever the station's mode
+                # policy forecasts (None for non-predictive policies).
+                policy = getattr(station, "policy", None)
+                if policy is not None:
+                    predicted = policy.predict_at(now)
                 else:
                     predicted = None
                 self.nfc_predicted[cell].append(predicted)

@@ -15,12 +15,14 @@ from .messages import (
     Acquisition,
     AcqType,
     ChangeMode,
+    Donate,
     NO_CHANNEL,
     Release,
     ReqType,
     Request,
     ResType,
     Response,
+    Solicit,
     Timestamp,
 )
 from .monitor import InterferenceMonitor, InterferenceViolation
@@ -43,6 +45,8 @@ __all__ = [
     "ChangeMode",
     "Acquisition",
     "Release",
+    "Solicit",
+    "Donate",
     "ReqType",
     "ResType",
     "AcqType",

@@ -52,7 +52,9 @@ __all__ = [
 
 #: Bumped whenever the encoded layout changes incompatibly.  ``restore``
 #: refuses snapshots from other versions rather than guessing.
-SNAPSHOT_FORMAT_VERSION = 1
+#: v2: adaptive stations carry opaque per-policy state (``"policy"``,
+#: via ``ModePolicy.state_dict``) instead of raw ``"nfc_samples"``.
+SNAPSHOT_FORMAT_VERSION = 2
 
 _TAG = "~"
 

@@ -48,11 +48,13 @@ from ..protocols.messages import (
     AcqType,
     Acquisition,
     ChangeMode,
+    Donate,
     Release,
     ReqType,
     Request,
     ResType,
     Response,
+    Solicit,
 )
 from ..protocols.prakash import PollResponse, Transfer, TransferReply
 from ..sim.events import NORMAL, PENDING, ConditionEvent, Process
@@ -92,6 +94,8 @@ _PAYLOADS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
     "ChangeMode": (ChangeMode, ("mode", "sender", "round_id")),
     "Acquisition": (Acquisition, ("acq_type", "sender", "channel")),
     "Release": (Release, ("sender", "channel")),
+    "Solicit": (Solicit, ("sender", "need")),
+    "Donate": (Donate, ("sender", "channels")),
     "PollResponse": (PollResponse, ("sender", "allocated", "busy", "round_id")),
     "Transfer": (Transfer, ("sender", "channel", "ts", "round_id")),
     "TransferReply": (TransferReply, ("sender", "channel", "granted", "round_id")),
@@ -295,7 +299,7 @@ def _capture_station(st: Any) -> Dict[str, Any]:
             "UpdateS": set(st.UpdateS),
             "owed_acks": dict(st._owed_acks),
             "rounds": st.rounds,
-            "nfc_samples": [tuple(s) for s in st.nfc._samples],
+            "policy": st.policy.state_dict(),
             "collector_round": st._collector_round,
             "status_collectors": {
                 rid: [sorted(c._expected), dict(c._responses)]
@@ -915,7 +919,7 @@ def _apply_station(st: Any, data: Dict[str, Any]) -> None:
         st._owed_acks.clear()
         st._owed_acks.update(sorted(data["owed_acks"].items()))
         st.rounds = data["rounds"]
-        st.nfc._samples = deque(tuple(s) for s in data["nfc_samples"])
+        st.policy.load_state(data["policy"])
         st._collector_round = data["collector_round"]
         st._status_collectors = {}
         for rid, (expected, responses) in sorted(data["status_collectors"].items()):

@@ -1,0 +1,158 @@
+"""The docs cross-reference checker (`python -m tools.docscheck`).
+
+Two halves: the failure modes on a synthetic tree (broken links,
+absolute links, dead code paths, rule-catalog drift in both
+directions), and the pin that keeps the real repository clean — the
+latter is the actual contract CI enforces, the former proves the
+checker would notice if it drifted.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+
+from tools.docscheck import (  # noqa: E402
+    EXCLUDED,
+    check_code_paths,
+    check_links,
+    check_rule_catalog,
+    markdown_files,
+    run_all,
+)
+
+
+def make_tree(tmp_path, checks_md="### SIM001 — demo\n", sources=("SIM001",)):
+    """A minimal repo skeleton the three passes can run against."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "CHECKS.md").write_text(checks_md)
+    (tmp_path / "tools" / "check").mkdir(parents=True)
+    (tmp_path / "tools" / "analyze").mkdir()
+    (tmp_path / "tools" / "check" / "rules.py").write_text(
+        "\n".join(f"ID = {rule!r}" for rule in sources) + "\n"
+    )
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "real.py").write_text("x = 1\n")
+    return tmp_path
+
+
+# -- pass 1: links ----------------------------------------------------------
+
+
+def test_broken_and_absolute_links_are_flagged(tmp_path):
+    root = make_tree(tmp_path)
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/CHECKS.md)\n"
+        "[gone](docs/MISSING.md)\n"
+        "[abs](/etc/passwd)\n"
+        "[ext](https://example.org) [anchor](#here)\n"
+    )
+    problems = check_links(root, markdown_files(root))
+    assert len(problems) == 2
+    assert any("MISSING.md" in p and "broken link" in p for p in problems)
+    assert any("/etc/passwd" in p and "absolute" in p for p in problems)
+
+
+def test_links_resolve_relative_to_the_containing_file(tmp_path):
+    root = make_tree(tmp_path)
+    (tmp_path / "docs" / "GUIDE.md").write_text(
+        "[sibling](CHECKS.md) [up](../README.md#install)\n"
+    )
+    (tmp_path / "README.md").write_text("hello\n")
+    assert check_links(root, markdown_files(root)) == []
+
+
+def test_code_spans_and_fences_are_not_links(tmp_path):
+    root = make_tree(tmp_path)
+    (tmp_path / "README.md").write_text(
+        "every `[text](target)` must resolve\n"
+        "```\n[example](not/a/real/file.md)\n```\n"
+    )
+    assert check_links(root, markdown_files(root)) == []
+
+
+def test_excluded_driver_files_are_skipped(tmp_path):
+    root = make_tree(tmp_path)
+    for name in EXCLUDED:
+        (tmp_path / name).write_text("[broken](nowhere.md)\n")
+    assert check_links(root, markdown_files(root)) == []
+
+
+# -- pass 2: code paths -----------------------------------------------------
+
+
+def test_dead_code_paths_are_flagged(tmp_path):
+    root = make_tree(tmp_path)
+    (tmp_path / "README.md").write_text(
+        "see `src/real.py` and `src/deleted.py`\n"
+    )
+    problems = check_code_paths(root, markdown_files(root))
+    assert len(problems) == 1
+    assert "src/deleted.py" in problems[0]
+
+
+# -- pass 3: rule catalog ---------------------------------------------------
+
+
+def test_undocumented_rule_is_flagged(tmp_path):
+    root = make_tree(
+        tmp_path,
+        checks_md="### SIM001 — demo\n",
+        sources=("SIM001", "ANA999"),
+    )
+    problems = check_rule_catalog(root)
+    assert problems == [
+        "rule ANA999 is implemented but has no ### heading in docs/CHECKS.md"
+    ]
+
+
+def test_phantom_documented_rule_is_flagged(tmp_path):
+    root = make_tree(
+        tmp_path,
+        checks_md="### SIM001 — demo\n### SIM777 — phantom\n",
+        sources=("SIM001",),
+    )
+    problems = check_rule_catalog(root)
+    assert len(problems) == 1
+    assert "SIM777" in problems[0]
+
+
+def test_internal_sentinel_is_tolerated(tmp_path):
+    root = make_tree(
+        tmp_path,
+        checks_md="### SIM001 — demo\n",
+        sources=("SIM001", "SIM000"),
+    )
+    assert check_rule_catalog(root) == []
+
+
+# -- the real repository ----------------------------------------------------
+
+
+def test_repository_docs_are_clean():
+    """The CI contract: zero problems on the actual tree."""
+    assert run_all(ROOT) == []
+
+
+def test_cli_entry_point(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.docscheck"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "clean" in result.stdout
+
+    root = make_tree(tmp_path)
+    (tmp_path / "README.md").write_text("[gone](missing.md)\n")
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.docscheck", str(root)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 1
+    assert "broken link" in result.stderr

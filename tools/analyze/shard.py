@@ -47,7 +47,12 @@ from tools.check.engine import Finding
 __all__ = ["run_shard_pass", "SHARD_SCOPE", "SHARD_ALLOWLIST"]
 
 #: Code that will run *inside* a shard: protocols, core, kernel.
-SHARD_SCOPE = ("src/repro/protocols", "src/repro/core", "src/repro/sim")
+SHARD_SCOPE = (
+    "src/repro/protocols",
+    "src/repro/core",
+    "src/repro/policies",
+    "src/repro/sim",
+)
 
 #: Files allowed to touch other nodes' state: the fabric itself plus
 #: sanctioned observation-only readers.
@@ -55,6 +60,9 @@ SHARD_ALLOWLIST = (
     "src/repro/sim/network.py",  # the fabric owns the node registry
     "src/repro/protocols/monitor.py",  # global safety oracle (observer)
     "src/repro/protocols/tracing.py",  # trace decoration (observer)
+    # Import-time decorator registry: append-only, populated before any
+    # kernel starts, byte-identical in every worker process.
+    "src/repro/policies/base.py",
 )
 
 #: Constructor names whose value is a shared mutable container.

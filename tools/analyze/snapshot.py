@@ -48,6 +48,7 @@ SNAP_SCOPE = (
     "src/repro/sim",
     "src/repro/protocols",
     "src/repro/core",
+    "src/repro/policies",
     "src/repro/faults",
     "src/repro/traffic",
     "src/repro/metrics",

@@ -1,6 +1,6 @@
 """Simulator benchmark driver: kernel throughput, parallel sweep, cache.
 
-Runs five measurements and records them in ``BENCH_simulator.json``:
+Runs seven measurements and records them in ``BENCH_simulator.json``:
 
 1. **Kernel throughput (B0)** — events/second per scheme, using the
    same manual step loop as ``benchmarks/test_simulator_throughput.py``
@@ -31,7 +31,12 @@ Runs five measurements and records them in ``BENCH_simulator.json``:
    ``fastlane=False`` run's event count has not drifted: lane-off
    behavior is contractually bit-identical to a build without the
    lane.  The divergence table is also written to
-   ``fastlane-divergence.json`` for CI artifact upload.
+   ``benchmarks/fastlane-divergence.json`` for CI artifact upload.
+7. **Policy comparison** — every registered mode policy (plus the
+   clairvoyant oracle) run on one contended workload through
+   ``repro.policies.compare_policies``; records per-policy mean
+   regret-vs-oracle.  ``--check`` gates that the oracle's regret is
+   exactly 0 and that no policy run produced interference violations.
 
 Usage::
 
@@ -181,6 +186,15 @@ PROFILES = {
             shards=2,
             max_window_fraction=0.5,
         ),
+        # Contended enough (load 10 on the paper grid) that mode-policy
+        # quality shows in the drop rate, so the regret ordering is
+        # informative rather than noise around zero.
+        "policies": dict(
+            offered_load=10.0,
+            duration=600.0,
+            warmup=100.0,
+            seeds=[1, 2],
+        ),
     },
     "smoke": {
         "kernel": dict(offered_load=8.0, duration=300.0, warmup=50.0, seed=101),
@@ -245,6 +259,14 @@ PROFILES = {
             seed=5,
             shards=2,
             max_window_fraction=0.5,
+        ),
+        # One seed and a shorter horizon: the gate (oracle regret
+        # exactly 0, zero violations) is structural, not statistical.
+        "policies": dict(
+            offered_load=10.0,
+            duration=400.0,
+            warmup=100.0,
+            seeds=[1],
         ),
     },
 }
@@ -601,6 +623,69 @@ def bench_shard_windows(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def bench_policies(spec: Dict[str, Any], workers: int) -> Dict[str, Any]:
+    """Every registered mode policy (plus the oracle) on one workload.
+
+    Runs ``repro.policies.compare_policies`` — per seed, a linear run
+    is traced, the clairvoyant oracle replays the trace, and every
+    (policy, seed) cell runs through the parallel engine.  The
+    recorded numbers are the per-policy mean drop rate and mean
+    regret-vs-oracle; ``check_policies`` gates the structural
+    invariants (oracle regret exactly 0, zero violations).
+    """
+    from repro.policies import compare_policies
+
+    base = Scenario(
+        scheme="adaptive",
+        offered_load=spec["offered_load"],
+        duration=spec["duration"],
+        warmup=spec["warmup"],
+    )
+    w0 = time.perf_counter()
+    comparison = compare_policies(
+        base, seeds=spec["seeds"], workers=workers, cache=False
+    )
+    wall = time.perf_counter() - w0
+    policies = {}
+    for name in sorted(comparison.policies):
+        rows = [r for r in comparison.rows if r["policy"] == name]
+        policies[name] = {
+            "drop_rate": round(
+                sum(r["drop_rate"] for r in rows) / len(rows), 6
+            ),
+            "regret_vs_oracle": round(comparison.regret(name), 6),
+            "violations": sum(r["violations"] for r in rows),
+        }
+    return {
+        "offered_load": spec["offered_load"],
+        "duration": spec["duration"],
+        "seeds": list(spec["seeds"]),
+        "wall_s": round(wall, 3),
+        "policies": policies,
+    }
+
+
+def check_policies(result: Dict[str, Any]) -> List[str]:
+    """Gate: the oracle's regret must be exactly 0 (it is the regret
+    yardstick) and no policy run may violate channel interference."""
+    problems = []
+    oracle = result["policies"].get("oracle")
+    if oracle is None:
+        problems.append("policies: oracle row missing from comparison")
+    elif oracle["regret_vs_oracle"] != 0.0:
+        problems.append(
+            f"policies: oracle regret {oracle['regret_vs_oracle']} != 0 — "
+            "the yardstick itself is broken"
+        )
+    for name, entry in result["policies"].items():
+        if entry["violations"]:
+            problems.append(
+                f"policies: {entry['violations']} interference "
+                f"violation(s) under policy {name!r}"
+            )
+    return problems
+
+
 def check_fastlane(
     result: Dict[str, Any],
     spec: Dict[str, Any],
@@ -737,7 +822,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
     parser.add_argument(
         "--divergence-out",
-        default="fastlane-divergence.json",
+        default=os.path.join("benchmarks", "fastlane-divergence.json"),
         metavar="PATH",
         help="where to write the fast-lane divergence report "
         "(uploaded as a CI artifact)",
@@ -907,6 +992,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 1
 
+        policies_result = bench_policies(spec["policies"], workers)
+        print(
+            f"policies: load {policies_result['offered_load']} x"
+            f"{len(policies_result['seeds'])} seeds  "
+            f"{policies_result['wall_s']}s"
+        )
+        for name, entry in policies_result["policies"].items():
+            print(
+                f"  {name:10s} drop {entry['drop_rate']:.4f}  "
+                f"regret {entry['regret_vs_oracle']:+.4f}  "
+                f"violations {entry['violations']}"
+            )
+        section["policies"] = policies_result
+
     failures: List[str] = []
     if args.check:
         baseline = committed.get("profiles", {}).get(profile, {}).get("kernel", {})
@@ -930,6 +1029,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             failures += check_shard_windows(
                 windows_result, spec["shard_windows"]
             )
+            failures += check_policies(policies_result)
         for failure in failures:
             print(f"REGRESSION  {failure}", file=sys.stderr)
 

@@ -1,0 +1,26 @@
+"""CLI entry point: ``python -m tools.docscheck [ROOT]``."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from . import markdown_files, run_all
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path(__file__).parents[2]
+    root = root.resolve()
+    problems = run_all(root)
+    for problem in problems:
+        print(f"docscheck: {problem}", file=sys.stderr)
+    if problems:
+        print(f"docscheck: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docscheck: {len(markdown_files(root))} markdown files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
